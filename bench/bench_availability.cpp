@@ -1,0 +1,189 @@
+// E2 — Availability under network partition (paper §3, §8).
+//
+// Claim: during a partition, every DvP group keeps committing against its
+// local quotas; quorum consensus serves only the majority group; primary
+// copy serves only the group containing the primary; write-all serves no
+// one. We run 60s with a partition over [20s, 40s] and report commit rates
+// inside the partition window, per group.
+#include "baseline/primary_copy.h"
+#include "baseline/twopc.h"
+#include "bench/bench_common.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr SimTime kRun = 60'000'000;
+constexpr SimTime kSplitStart = 20'000'000;
+constexpr SimTime kSplitEnd = 40'000'000;
+
+struct GroupStats {
+  uint64_t committed = 0;
+  uint64_t decided = 0;
+};
+
+struct Probe {
+  workload::SystemAdapter* adapter = nullptr;
+  // group index during the window: sites 0,1 -> group 0; 2,3 -> group 1.
+  GroupStats in_window[2];
+  uint64_t outside_committed = 0;
+  uint64_t outside_decided = 0;
+
+  void Record(SiteId at, const txn::TxnResult& r) {
+    SimTime now = adapter->Now();
+    bool inside = now >= kSplitStart && now <= kSplitEnd;
+    if (!inside) {
+      ++outside_decided;
+      if (r.committed()) ++outside_committed;
+      return;
+    }
+    int group = at.value() < 2 ? 0 : 1;
+    ++in_window[group].decided;
+    if (r.committed()) ++in_window[group].committed;
+  }
+};
+
+workload::WorkloadOptions Mix(uint64_t seed) {
+  workload::WorkloadOptions w;
+  w.arrivals_per_sec = 120;
+  w.p_decrement = 0.5;
+  w.p_increment = 0.5;
+  w.p_read = 0;
+  w.seed = seed;
+  return w;
+}
+
+void SchedulePartition(workload::SystemAdapter& adapter) {
+  adapter.kernel().ScheduleAt(kSplitStart, [&adapter]() {
+    (void)adapter.Partition(
+        {{SiteId(0), SiteId(1)}, {SiteId(2), SiteId(3)}});
+  });
+  adapter.kernel().ScheduleAt(kSplitEnd, [&adapter]() { adapter.Heal(); });
+}
+
+void Report(workload::TablePrinter& table, std::string_view system,
+            const Probe& probe) {
+  auto rate = [](const GroupStats& g) {
+    return g.decided == 0
+               ? 0.0
+               : 100.0 * double(g.committed) / double(g.decided);
+  };
+  double outside = probe.outside_decided == 0
+                       ? 0.0
+                       : 100.0 * double(probe.outside_committed) /
+                             double(probe.outside_decided);
+  table.AddRow(std::string(system), rate(probe.in_window[0]),
+               rate(probe.in_window[1]), outside);
+}
+
+void Main() {
+  PrintHeader("E2",
+              "availability during a {0,1}|{2,3} partition (20s..40s): "
+              "commit %% per group inside the window");
+  workload::TablePrinter table({"system", "group{0,1} commit %",
+                                "group{2,3} commit %",
+                                "outside window commit %"});
+
+  {  // DvP
+    std::vector<ItemId> items;
+    core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+    system::ClusterOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 31;
+    system::Cluster cluster(&catalog, opts);
+    cluster.BootstrapEven();
+    workload::DvpAdapter adapter(&cluster);
+    SchedulePartition(adapter);
+    workload::WorkloadDriver driver(&adapter, items, Mix(21));
+    Probe probe{&adapter, {}, 0, 0};
+    driver.set_on_decision([&probe](SiteId at, const txn::TxnSpec&,
+                                    const txn::TxnResult& r) {
+      probe.Record(at, r);
+    });
+    (void)driver.Run(kRun);
+    Report(table, "DvP", probe);
+  }
+  {  // 2PC write-all
+    std::vector<ItemId> items;
+    core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+    baseline::TwoPcOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 31;
+    opts.policy = baseline::ReplicaPolicy::kWriteAll;
+    baseline::TwoPcCluster cluster(&catalog, opts);
+    cluster.Bootstrap();
+    workload::TwoPcAdapter adapter(&cluster, "2PC write-all");
+    SchedulePartition(adapter);
+    workload::WorkloadDriver driver(&adapter, items, Mix(21));
+    Probe probe{&adapter, {}, 0, 0};
+    driver.set_on_decision([&probe](SiteId at, const txn::TxnSpec&,
+                                    const txn::TxnResult& r) {
+      probe.Record(at, r);
+    });
+    (void)driver.Run(kRun);
+    Report(table, "2PC write-all", probe);
+  }
+  {  // 2PC quorum: split 3|1 so one side has a majority.
+    std::vector<ItemId> items;
+    core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+    baseline::TwoPcOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 31;
+    opts.policy = baseline::ReplicaPolicy::kQuorum;
+    baseline::TwoPcCluster cluster(&catalog, opts);
+    cluster.Bootstrap();
+    workload::TwoPcAdapter adapter(&cluster, "2PC quorum");
+    adapter.kernel().ScheduleAt(kSplitStart, [&adapter]() {
+      (void)adapter.Partition(
+          {{SiteId(0), SiteId(1), SiteId(2)}, {SiteId(3)}});
+    });
+    adapter.kernel().ScheduleAt(kSplitEnd, [&adapter]() { adapter.Heal(); });
+    workload::WorkloadDriver driver(&adapter, items, Mix(21));
+    // Group 0 = sites 0..2 (majority), group 1 = site 3 (minority).
+    Probe probe{&adapter, {}, 0, 0};
+    driver.set_on_decision([&probe, &adapter](SiteId at, const txn::TxnSpec&,
+                                              const txn::TxnResult& r) {
+      SimTime now = adapter.Now();
+      bool inside = now >= kSplitStart && now <= kSplitEnd;
+      if (!inside) {
+        ++probe.outside_decided;
+        if (r.committed()) ++probe.outside_committed;
+        return;
+      }
+      int group = at.value() < 3 ? 0 : 1;
+      ++probe.in_window[group].decided;
+      if (r.committed()) ++probe.in_window[group].committed;
+    });
+    (void)driver.Run(kRun);
+    Report(table, "2PC quorum (3|1 split)", probe);
+  }
+  {  // Primary copy
+    std::vector<ItemId> items;
+    core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+    baseline::PrimaryCopyOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 31;
+    baseline::PrimaryCopyCluster cluster(&catalog, opts);
+    cluster.Bootstrap();
+    workload::PrimaryCopyAdapter adapter(&cluster);
+    SchedulePartition(adapter);
+    workload::WorkloadDriver driver(&adapter, items, Mix(21));
+    Probe probe{&adapter, {}, 0, 0};
+    driver.set_on_decision([&probe](SiteId at, const txn::TxnSpec&,
+                                    const txn::TxnResult& r) {
+      probe.Record(at, r);
+    });
+    (void)driver.Run(kRun);
+    Report(table, "PrimaryCopy", probe);
+  }
+
+  table.Print();
+  std::cout << "\nDvP: both groups keep committing on their quotas. "
+               "Write-all: nobody commits. Quorum: only the majority side. "
+               "Primary copy: only the group holding each primary (items are "
+               "striped, so each group reaches half its primaries).\n";
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { dvp::bench::Main(); }

@@ -1,0 +1,91 @@
+// Shared helpers for the experiment harnesses (E1–E10). Each bench binary
+// prints fixed-format tables whose rows are recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dvpcore/catalog.h"
+#include "system/cluster.h"
+#include "workload/adapter.h"
+#include "workload/generator.h"
+#include "workload/table.h"
+
+namespace dvp::bench {
+
+/// Schedules repeating random 2-way partitions against any adapter:
+/// every `period_us` the network splits into two random nonempty groups for
+/// `duration_us`, then heals.
+class PartitionInjector {
+ public:
+  PartitionInjector(workload::SystemAdapter* adapter, SimTime period_us,
+                    SimTime duration_us, uint64_t seed)
+      : adapter_(adapter),
+        period_us_(period_us),
+        duration_us_(duration_us),
+        rng_(seed) {}
+
+  /// Arms the injector until `until_us` (absolute virtual time).
+  void Start(SimTime until_us) {
+    until_ = until_us;
+    Arm();
+  }
+
+  uint64_t splits() const { return splits_; }
+
+ private:
+  void Arm() {
+    SimTime when = adapter_->Now() + period_us_;
+    if (when >= until_) return;
+    adapter_->kernel().ScheduleAt(when, [this]() {
+      uint32_t n = adapter_->num_sites();
+      if (n >= 2) {
+        // Random nonempty bipartition.
+        std::vector<SiteId> a, b;
+        do {
+          a.clear();
+          b.clear();
+          for (uint32_t s = 0; s < n; ++s) {
+            (rng_.NextBool(0.5) ? a : b).push_back(SiteId(s));
+          }
+        } while (a.empty() || b.empty());
+        (void)adapter_->Partition({a, b});
+        ++splits_;
+        adapter_->kernel().Schedule(duration_us_,
+                                    [this]() { adapter_->Heal(); });
+      }
+      Arm();
+    });
+  }
+
+  workload::SystemAdapter* adapter_;
+  SimTime period_us_;
+  SimTime duration_us_;
+  SimTime until_ = 0;
+  Rng rng_;
+  uint64_t splits_ = 0;
+};
+
+/// A catalog with `n_items` count items of `total` each.
+inline core::Catalog MakeCountCatalog(uint32_t n_items, core::Value total,
+                                      std::vector<ItemId>* items) {
+  core::Catalog catalog;
+  for (uint32_t i = 0; i < n_items; ++i) {
+    ItemId id = catalog.AddItem("item" + std::to_string(i),
+                                core::CountDomain::Instance(), total);
+    if (items) items->push_back(id);
+  }
+  return catalog;
+}
+
+inline double Pct(double x) { return 100.0 * x; }
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << ": " << claim << " ===\n";
+}
+
+}  // namespace dvp::bench

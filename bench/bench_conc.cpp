@@ -1,0 +1,161 @@
+// E7 — Conc1 (timestamping) vs Conc2 (strict 2PL + ordered broadcast), §6.
+//
+// Claims:
+//  (a) Both schemes produce serializable histories — verified here by serial
+//      replay of every committed transaction (timestamp order for Conc1,
+//      commit order for Conc2) against whole item values, including read
+//      results.
+//  (b) Conc1 is the more conservative: its timestamp gate refuses locks and
+//      requests that Conc2 (running in its friendlier, synchronous
+//      environment) would grant, so Conc1 shows extra "cc" aborts.
+//
+// Sweep: contention level (number of items for a fixed arrival rate — fewer
+// items = hotter).
+#include "bench/bench_common.h"
+#include "verify/serializability.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr SimTime kRun = 40'000'000;
+
+struct Row {
+  workload::WorkloadResults results;
+  CounterSet counters;
+  std::string serializable;
+  std::map<ItemId, core::Value> final_totals;
+};
+
+Row RunScheme(cc::CcScheme scheme, uint32_t n_items, uint64_t seed) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(n_items, 8000, &items);
+  system::ClusterOptions opts;
+  opts.num_sites = 4;
+  opts.seed = seed;
+  opts.site.txn.local_compute_us = 2'000;  // hold locks: makes contention real
+  if (scheme == cc::CcScheme::kConc2) {
+    opts.UseConc2();
+  }
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+  workload::DvpAdapter adapter(&cluster);
+
+  workload::WorkloadOptions w;
+  w.arrivals_per_sec = 100;
+  w.p_decrement = 0.45;
+  w.p_increment = 0.45;
+  w.p_read = 0.10;
+  w.site_zipf_theta = 0.6;
+  w.seed = seed * 7 + 1;
+  workload::WorkloadDriver driver(&adapter, items, w);
+
+  verify::HistoryChecker checker(&catalog);
+  driver.set_on_commit([&checker, &adapter](TxnId id, const txn::TxnSpec& spec,
+                                            const txn::TxnResult& r) {
+    checker.RecordCommitAt(adapter.Now(), id, spec, r);
+  });
+
+  Row row;
+  row.results = driver.Run(kRun, 3'000'000);
+  row.counters = cluster.AggregateCounters();
+  for (ItemId item : items) row.final_totals[item] = cluster.TotalOf(item);
+
+  auto order = scheme == cc::CcScheme::kConc1
+                   ? verify::HistoryChecker::Order::kTimestamp
+                   : verify::HistoryChecker::Order::kCommitOrder;
+  Status check = checker.Check(order, &row.final_totals);
+  row.serializable = check.ok() ? "YES" : check.ToString();
+  return row;
+}
+
+void Main() {
+  PrintHeader("E7",
+              "Conc1 vs Conc2: abort profile and verified serializability "
+              "vs contention");
+  workload::TablePrinter table({"items", "scheme", "commit %", "abort lock %",
+                                "abort cc %", "abort timeout %",
+                                "serializable"});
+  for (uint32_t n_items : {16, 4, 2, 1}) {
+    for (cc::CcScheme scheme : {cc::CcScheme::kConc1, cc::CcScheme::kConc2}) {
+      Row row = RunScheme(scheme, n_items, 4000 + n_items);
+      const auto& r = row.results;
+      double n = double(std::max<uint64_t>(1, r.submitted));
+      auto pct = [&](txn::TxnOutcome o) {
+        auto it = r.outcomes.find(o);
+        return it == r.outcomes.end() ? 0.0 : 100.0 * double(it->second) / n;
+      };
+      table.AddRow(n_items,
+                   scheme == cc::CcScheme::kConc1 ? "Conc1" : "Conc2",
+                   Pct(r.commit_rate()),
+                   pct(txn::TxnOutcome::kAbortLockConflict),
+                   pct(txn::TxnOutcome::kAbortCcReject),
+                   pct(txn::TxnOutcome::kAbortTimeout), row.serializable);
+    }
+  }
+  table.Print();
+  std::cout << "\nEvery run replays serially to the exact final totals and "
+               "read values. Conc1's extra 'cc' aborts are the price of "
+               "needing no environment assumptions; Conc2 avoids them but "
+               "only exists under synchronous, loss-free, ordered-broadcast "
+               "links.\n";
+
+  // ---- Ablation: the acceptance-stamp design choice ------------------------
+  // Merging a Vm must stamp the fragment so that no transaction older than
+  // the value's causal past can consume it. Two sound choices: the Vm's
+  // creation timestamp (our default — the tight causal bound) or a fresh
+  // local timestamp (strictly more conservative). Measured on a gather-heavy
+  // skewed workload with full reads in the mix.
+  std::cout << "\nConc1 acceptance-stamp ablation (skewed gather-heavy mix):\n";
+  workload::TablePrinter ab({"stamp policy", "commit %", "req refused (cc)",
+                             "read commit %"});
+  for (cc::AcceptStampMode mode :
+       {cc::AcceptStampMode::kCreationTs, cc::AcceptStampMode::kFreshLocal}) {
+    std::vector<ItemId> items;
+    core::Catalog catalog = MakeCountCatalog(2, 4000, &items);
+    system::ClusterOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 4242;
+    opts.site.txn.accept_stamp = mode;
+    system::Cluster cluster(&catalog, opts);
+    cluster.BootstrapEven();
+    workload::DvpAdapter adapter(&cluster);
+
+    workload::WorkloadOptions w;
+    w.arrivals_per_sec = 120;
+    w.p_decrement = 0.48;
+    w.p_increment = 0.48;
+    w.p_read = 0.04;
+    w.site_zipf_theta = 1.2;
+    w.increment_site_zipf_theta = 0.0;
+    w.seed = 8011;
+    workload::WorkloadDriver driver(&adapter, items, w);
+    uint64_t read_committed = 0, read_total = 0;
+    driver.set_on_decision([&](SiteId, const txn::TxnSpec& spec,
+                               const txn::TxnResult& r) {
+      if (spec.ops.front().kind == txn::TxnOp::Kind::kReadFull) {
+        ++read_total;
+        if (r.committed()) ++read_committed;
+      }
+    });
+    auto results = driver.Run(kRun);
+    CounterSet counters = cluster.AggregateCounters();
+    ab.AddRow(mode == cc::AcceptStampMode::kCreationTs ? "creation ts"
+                                                       : "fresh local",
+              Pct(results.commit_rate()), counters.Get("req.ignored.cc"),
+              read_total == 0
+                  ? 0.0
+                  : Pct(double(read_committed) / double(read_total)));
+  }
+  ab.Print();
+  std::cout << "Both stamps give the same serializability guarantee; the "
+               "tight causal bound (creation ts) admits slightly more reads "
+               "on this mix. The effect is modest because request timestamps "
+               "usually dominate either stamp — it matters most for "
+               "cold-clock readers (see the banking example's audit "
+               "retry).\n";
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { dvp::bench::Main(); }

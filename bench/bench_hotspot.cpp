@@ -1,0 +1,148 @@
+// E4 — Hot-spot aggregate fields (paper §8, the escrow comparison).
+//
+// Claim: DvP lets many processes update one aggregate quantity concurrently
+// (each against its own fragment), like O'Neil's escrow method does at a
+// single site — while conventional exclusive locking serialises the hot spot
+// and collapses under load.
+//
+// Setup: one hot counter; transactions are increment/decrement ±1..3 and
+// hold the quantity for a 5 ms "multi-step transaction" window. Sweep the
+// offered load; compare throughput and conflict-abort rate across:
+//   exclusive-1site | escrow-1site | DvP-4sites | 2PC-writeall-4sites
+#include <iomanip>
+
+#include "baseline/escrow.h"
+#include "baseline/twopc.h"
+#include "bench/bench_common.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr SimTime kRun = 30'000'000;
+constexpr SimTime kTxnDuration = 5'000;  // 5 ms of held locks / escrow
+constexpr core::Value kInitial = 1'000'000;  // plenty: conflicts, not drain
+
+struct Row {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double throughput(SimTime dur) const {
+    return double(committed) * 1e6 / double(dur);
+  }
+  double abort_pct() const {
+    uint64_t total = committed + aborted;
+    return total == 0 ? 0 : 100.0 * double(aborted) / double(total);
+  }
+};
+
+/// Drives a single-site EscrowSite (either mode) with Poisson arrivals.
+Row RunSingleSite(baseline::EscrowSite::Mode mode, double rate,
+                  uint64_t seed) {
+  sim::Kernel kernel;
+  baseline::EscrowSite site(&kernel, mode, kInitial, kTxnDuration);
+  Rng rng(seed);
+  Row row;
+  // Schedule arrivals up front (open loop).
+  SimTime t = 0;
+  while (true) {
+    t += SimTime(rng.NextExponential(1e6 / rate)) + 1;
+    if (t >= kRun) break;
+    core::Value m = rng.NextInt(1, 3);
+    bool down = rng.NextBool(0.5);
+    kernel.ScheduleAt(t, [&site, &row, m, down]() {
+      auto cb = [&row](Status s) { s.ok() ? ++row.committed : ++row.aborted; };
+      if (down) {
+        site.Decrement(m, cb);
+      } else {
+        site.Increment(m, cb);
+      }
+    });
+  }
+  kernel.Run();
+  return row;
+}
+
+Row RunDvp(double rate, uint64_t seed) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(1, kInitial, &items);
+  system::ClusterOptions opts;
+  opts.num_sites = 4;
+  opts.seed = seed;
+  opts.site.txn.local_compute_us = kTxnDuration;
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+  workload::DvpAdapter adapter(&cluster);
+  workload::WorkloadOptions w;
+  w.arrivals_per_sec = rate;
+  w.p_decrement = 0.5;
+  w.p_increment = 0.5;
+  w.p_read = 0;
+  w.amount_min = 1;
+  w.amount_max = 3;
+  w.seed = seed * 3 + 1;
+  workload::WorkloadDriver driver(&adapter, items, w);
+  auto r = driver.Run(kRun);
+  Row row;
+  row.committed = r.committed();
+  row.aborted = r.decided() - r.committed();
+  return row;
+}
+
+Row Run2pc(double rate, uint64_t seed) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(1, kInitial, &items);
+  baseline::TwoPcOptions opts;
+  opts.num_sites = 4;
+  opts.seed = seed;
+  baseline::TwoPcCluster cluster(&catalog, opts);
+  cluster.Bootstrap();
+  workload::TwoPcAdapter adapter(&cluster);
+  workload::WorkloadOptions w;
+  w.arrivals_per_sec = rate;
+  w.p_decrement = 0.5;
+  w.p_increment = 0.5;
+  w.p_read = 0;
+  w.amount_min = 1;
+  w.amount_max = 3;
+  w.seed = seed * 3 + 1;
+  workload::WorkloadDriver driver(&adapter, items, w);
+  auto r = driver.Run(kRun);
+  Row row;
+  row.committed = r.committed();
+  row.aborted = r.decided() - r.committed();
+  return row;
+}
+
+void Main() {
+  PrintHeader("E4",
+              "hot-spot counter: committed txn/s (and conflict-abort %) vs "
+              "offered load; 5 ms transactions");
+  workload::TablePrinter table({"offered txn/s", "exclusive 1-site",
+                                "escrow 1-site", "DvP 4-site",
+                                "2PC write-all"});
+  for (double rate : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    auto cell = [&](Row r) {
+      std::ostringstream os;
+      os.setf(std::ios::fixed);
+      os.precision(0);
+      os << r.throughput(kRun) << "/s (" << std::setprecision(1)
+         << r.abort_pct() << "% ab)";
+      return os.str();
+    };
+    Row ex = RunSingleSite(baseline::EscrowSite::Mode::kExclusive, rate, 42);
+    Row es = RunSingleSite(baseline::EscrowSite::Mode::kEscrow, rate, 42);
+    Row dv = RunDvp(rate, 42);
+    Row tp = Run2pc(rate, 42);
+    table.AddRow(rate, cell(ex), cell(es), cell(dv), cell(tp));
+  }
+  table.Print();
+  std::cout << "\nExclusive locking saturates near 1/txn-duration = 200/s "
+               "and aborts the excess. Escrow admits all concurrent "
+               "increments/decrements; DvP does the same *distributed*, with "
+               "per-site fragments; 2PC pays replica locking on top of the "
+               "hot spot.\n";
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { dvp::bench::Main(); }

@@ -1,0 +1,180 @@
+// E11 (extension ablation) — dynamic hybrid placement (paper §8: "design
+// systems that can respond to different situations by dynamically
+// interchanging between a DvP scheme and some traditional scheme").
+//
+// Phased workload on one item: update-heavy → read-heavy (one analyst site)
+// → update-heavy. Strategies compared:
+//   static-DvP      — always partitioned (reads pay the full drain);
+//   static-consol.  — value pinned at the analyst site (remote updates pay
+//                     per-op redistribution);
+//   hybrid          — the controller consolidates for the read phase and
+//                     re-splits for the update phases.
+#include "bench/bench_common.h"
+#include "system/hybrid.h"
+#include "system/retry_client.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr SimTime kPhase = 20'000'000;  // 3 phases of 20s
+
+enum class Strategy { kStaticDvp, kStaticConsolidated, kHybrid };
+
+struct Row {
+  uint64_t update_commits = 0;
+  uint64_t update_aborts = 0;
+  uint64_t read_commits = 0;
+  uint64_t read_aborts = 0;
+  Histogram read_latency;
+};
+
+Row RunStrategy(Strategy strategy) {
+  core::Catalog catalog;
+  ItemId item =
+      catalog.AddItem("pool", core::CountDomain::Instance(), 100'000);
+  system::ClusterOptions opts;
+  opts.num_sites = 4;
+  opts.seed = 42;
+  opts.site.txn.timeout_us = 400'000;
+  opts.site.txn.local_compute_us = 2'000;  // single-site serialisation costs
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+
+  std::unique_ptr<system::HybridController> controller;
+  if (strategy == Strategy::kHybrid) {
+    system::HybridOptions hopts;
+    hopts.tick_us = 400'000;
+    // The analyst reads 2.5/s against ~12/s updates in the read phase:
+    // a ~17% read fraction is the consolidation signal here.
+    hopts.consolidate_read_fraction = 0.10;
+    hopts.min_accesses = 4;
+    controller = std::make_unique<system::HybridController>(&cluster, hopts,
+                                                            7);
+    controller->Start();
+  }
+  system::RetryingClient client(&cluster, system::RetryPolicy{}, 11);
+
+  if (strategy == Strategy::kStaticConsolidated) {
+    // Pin everything at site 0 (the analyst site) up front.
+    txn::TxnSpec drain;
+    drain.ops = {txn::TxnOp::ReadFull(item)};
+    client.Submit(SiteId(0), drain, nullptr);
+    cluster.RunFor(2'000'000);
+  }
+
+  Row row;
+  Rng rng(99);
+
+  // Arrival pump: updates arrive everywhere at 120/s in the update-heavy
+  // phases and ebb to 12/s during the analyst's read window (the *mix*
+  // changes between phases; that is what the controller adapts to). While
+  // consolidated, updates are routed to the home — the traditional
+  // single-copy discipline.
+  std::function<void()> pump = [&]() {
+    SimTime now = cluster.Now();
+    if (now >= 3 * kPhase) return;
+    bool read_phase = now >= kPhase && now < 2 * kPhase;
+    double rate = read_phase ? 12.0 : 120.0;
+
+    txn::TxnSpec spec;
+    core::Value amount = rng.NextInt(1, 5);
+    spec.ops = {rng.NextBool(0.5) ? txn::TxnOp::Decrement(item, amount)
+                                  : txn::TxnOp::Increment(item, amount)};
+    // The client lives at `origin`; single-copy routing forwards its op to
+    // the home site, which is only possible while they are connected.
+    SiteId origin(static_cast<uint32_t>(rng.NextBounded(4)));
+    SiteId at = origin;
+    if (strategy == Strategy::kStaticConsolidated) {
+      at = SiteId(0);
+    } else if (controller) {
+      at = controller->PreferredUpdateSite(item, origin);
+      controller->RecordAccess(item, false, at);
+    }
+    if (!cluster.network().partition().Connected(origin, at)) {
+      ++row.update_aborts;  // home unreachable from the client's group
+    } else {
+      client.Submit(at, spec, [&row](const system::RetryOutcome& o) {
+        o.result.committed() ? ++row.update_commits : ++row.update_aborts;
+      });
+    }
+    cluster.kernel().Schedule(SimTime(rng.NextExponential(1e6 / rate)) + 1,
+                              pump);
+  };
+  std::function<void()> reader = [&]() {
+    SimTime now = cluster.Now();
+    if (now >= 3 * kPhase) return;
+    if (now >= kPhase && now < 2 * kPhase) {
+      txn::TxnSpec read;
+      read.ops = {txn::TxnOp::ReadFull(item)};
+      SiteId at = controller
+                      ? controller->PreferredReadSite(item, SiteId(0))
+                      : SiteId(0);
+      if (controller) controller->RecordAccess(item, true, at);
+      SimTime start = cluster.Now();
+      client.Submit(at, read,
+                    [&row, &cluster, start](const system::RetryOutcome& o) {
+                      if (o.result.committed()) {
+                        ++row.read_commits;
+                        row.read_latency.Add(
+                            double(cluster.Now() - start));
+                      } else {
+                        ++row.read_aborts;
+                      }
+                    });
+    }
+    cluster.kernel().Schedule(400'000, reader);
+  };
+  pump();
+  cluster.kernel().Schedule(kPhase, reader);
+  // A partition strikes during the final update phase: the {2,3} group can
+  // only keep working if the value has been re-split back to it.
+  cluster.kernel().ScheduleAt(2 * kPhase + 5'000'000, [&cluster]() {
+    (void)cluster.Partition({{SiteId(0), SiteId(1)}, {SiteId(2), SiteId(3)}});
+  });
+  cluster.kernel().ScheduleAt(2 * kPhase + 12'000'000,
+                              [&cluster]() { cluster.Heal(); });
+  cluster.RunFor(3 * kPhase + 3'000'000);
+  return row;
+}
+
+void Main() {
+  PrintHeader("E11",
+              "hybrid DvP/consolidated switching across phases "
+              "(update-heavy | read-heavy | update-heavy)");
+  workload::TablePrinter table({"strategy", "update commit %",
+                                "reads done", "read abort %",
+                                "read p50 (ms)", "read p99 (ms)"});
+  for (Strategy s : {Strategy::kStaticDvp, Strategy::kStaticConsolidated,
+                     Strategy::kHybrid}) {
+    Row row = RunStrategy(s);
+    double upd_total = double(row.update_commits + row.update_aborts);
+    double read_total = double(row.read_commits + row.read_aborts);
+    table.AddRow(s == Strategy::kStaticDvp
+                     ? "static DvP"
+                     : s == Strategy::kStaticConsolidated
+                           ? "static consolidated"
+                           : "hybrid",
+                 upd_total == 0 ? 0.0
+                                : Pct(double(row.update_commits) / upd_total),
+                 row.read_commits,
+                 read_total == 0
+                     ? 0.0
+                     : Pct(double(row.read_aborts) / read_total),
+                 row.read_latency.Median() / 1000.0,
+                 row.read_latency.P99() / 1000.0);
+  }
+  table.Print();
+  std::cout << "\nStatic DvP pays dearly for every read (drain + retries) "
+               "and, once a read has concentrated the value, suffers during "
+               "the phase-3 partition. Static consolidation makes reads "
+               "cheap but its remote groups go dark whenever the home is "
+               "unreachable. The hybrid consolidates for the read window "
+               "and re-splits before the partition, tracking the better "
+               "column in each regime — §8's suggested design, realised "
+               "with plain DvP transactions.\n";
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { dvp::bench::Main(); }

@@ -1,0 +1,90 @@
+// Substrate micro-benchmarks (google-benchmark): the costs that set the
+// simulator's capacity — event scheduling, WAL record encode/decode+CRC,
+// PRNG draws, Zipf sampling, and lock-table operations.
+#include <benchmark/benchmark.h>
+
+#include "cc/lock_manager.h"
+#include "common/rng.h"
+#include "sim/kernel.h"
+#include "wal/record.h"
+
+namespace dvp {
+namespace {
+
+void BM_KernelScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    uint64_t sum = 0;
+    for (int i = 0; i < 1024; ++i) {
+      kernel.Schedule(i, [&sum, i]() { sum += uint64_t(i); });
+    }
+    kernel.Run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_KernelScheduleRun);
+
+void BM_WalEncodeDecodeCommit(benchmark::State& state) {
+  wal::TxnCommitRec rec;
+  rec.txn = TxnId(123456);
+  rec.ts_packed = 987654;
+  for (int i = 0; i < 4; ++i) {
+    rec.writes.push_back(
+        wal::FragmentWrite{ItemId(uint32_t(i)), 1000 + i, -3, 42});
+  }
+  for (auto _ : state) {
+    std::string encoded = wal::EncodeRecord(wal::LogRecord(rec));
+    auto decoded = wal::DecodeRecord(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalEncodeDecodeCommit);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(size_t(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal::Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(42);
+  ZipfGenerator zipf(1000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_LockTryLockAll(benchmark::State& state) {
+  cc::LockManager locks;
+  std::vector<ItemId> items;
+  for (uint32_t i = 0; i < 8; ++i) items.push_back(ItemId(i));
+  uint64_t owner = 1;
+  for (auto _ : state) {
+    TxnId txn(owner++);
+    benchmark::DoNotOptimize(locks.TryLockAll(items, txn));
+    locks.ReleaseAll(txn);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_LockTryLockAll);
+
+}  // namespace
+}  // namespace dvp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// E5 — The price of full reads (paper §8: "there is a high overhead in
+// reading the entire value of a particular data item").
+//
+// Claim: a DvP full read must drain Π⁻¹(d) to the reader (multi-round
+// gather, messages proportional to rounds × sites) and fails under
+// concurrent traffic or partitions; but in a *traditional replicated* system
+// an item that is updated elsewhere cannot be read at all during failures —
+// DvP trades steady-state read cost for failure-time availability.
+//
+// Sweep: read fraction in the mix; report read latency/rounds/abort rate and
+// the background write commit rate, plus the same mix on 2PC for contrast.
+#include "baseline/twopc.h"
+#include "bench/bench_common.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr SimTime kRun = 40'000'000;
+
+struct ReadStats {
+  Histogram latency;
+  Histogram rounds;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double abort_pct() const {
+    uint64_t n = committed + aborted;
+    return n == 0 ? 0.0 : 100.0 * double(aborted) / double(n);
+  }
+};
+
+void Main() {
+  PrintHeader("E5", "full-read drain cost vs read mix (4 sites, 4 items)");
+  workload::TablePrinter table(
+      {"read mix %", "system", "read p50 (ms)", "read p99 (ms)",
+       "read rounds p50", "read abort %", "write commit %", "msgs/txn"});
+
+  for (double read_mix : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+    // ---- DvP ----
+    {
+      std::vector<ItemId> items;
+      core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+      system::ClusterOptions opts;
+      opts.num_sites = 4;
+      opts.seed = 55;
+      opts.site.txn.timeout_us = 500'000;
+      system::Cluster cluster(&catalog, opts);
+      cluster.BootstrapEven();
+      workload::DvpAdapter adapter(&cluster);
+
+      workload::WorkloadOptions w;
+      w.arrivals_per_sec = 60;
+      w.p_read = read_mix;
+      w.p_decrement = (1.0 - read_mix) / 2;
+      w.p_increment = (1.0 - read_mix) / 2;
+      w.seed = 900 + uint64_t(read_mix * 100);
+      workload::WorkloadDriver driver(&adapter, items, w);
+
+      ReadStats reads;
+      uint64_t write_committed = 0, write_decided = 0;
+      driver.set_on_decision([&](SiteId, const txn::TxnSpec& spec,
+                                 const txn::TxnResult& r) {
+        bool is_read =
+            spec.ops.front().kind == txn::TxnOp::Kind::kReadFull;
+        if (is_read) {
+          if (r.committed()) {
+            ++reads.committed;
+            reads.latency.Add(double(r.latency_us));
+            reads.rounds.Add(double(r.rounds));
+          } else {
+            ++reads.aborted;
+          }
+        } else {
+          ++write_decided;
+          if (r.committed()) ++write_committed;
+        }
+      });
+      auto results = driver.Run(kRun);
+      CounterSet counters = cluster.AggregateCounters();
+      double msgs_per_txn =
+          results.submitted == 0
+              ? 0
+              : double(counters.Get("net.sent")) / double(results.submitted);
+      table.AddRow(Pct(read_mix), "DvP", reads.latency.Median() / 1000.0,
+                   reads.latency.P99() / 1000.0, reads.rounds.Median(),
+                   reads.abort_pct(),
+                   write_decided == 0 ? 0.0
+                                      : Pct(double(write_committed) /
+                                            double(write_decided)),
+                   msgs_per_txn);
+    }
+    // ---- 2PC quorum (reads are quorum reads) ----
+    {
+      std::vector<ItemId> items;
+      core::Catalog catalog = MakeCountCatalog(4, 4000, &items);
+      baseline::TwoPcOptions opts;
+      opts.num_sites = 4;
+      opts.seed = 55;
+      opts.policy = baseline::ReplicaPolicy::kQuorum;
+      baseline::TwoPcCluster cluster(&catalog, opts);
+      cluster.Bootstrap();
+      workload::TwoPcAdapter adapter(&cluster, "2PC quorum");
+
+      workload::WorkloadOptions w;
+      w.arrivals_per_sec = 60;
+      w.p_read = read_mix;
+      w.p_decrement = (1.0 - read_mix) / 2;
+      w.p_increment = (1.0 - read_mix) / 2;
+      w.seed = 900 + uint64_t(read_mix * 100);
+      workload::WorkloadDriver driver(&adapter, items, w);
+
+      ReadStats reads;
+      uint64_t write_committed = 0, write_decided = 0;
+      driver.set_on_decision([&](SiteId, const txn::TxnSpec& spec,
+                                 const txn::TxnResult& r) {
+        if (spec.ops.front().kind == txn::TxnOp::Kind::kReadFull) {
+          if (r.committed()) {
+            ++reads.committed;
+            reads.latency.Add(double(r.latency_us));
+          } else {
+            ++reads.aborted;
+          }
+        } else {
+          ++write_decided;
+          if (r.committed()) ++write_committed;
+        }
+      });
+      auto results = driver.Run(kRun);
+      (void)results;
+      table.AddRow(Pct(read_mix), "2PC quorum",
+                   reads.latency.Median() / 1000.0,
+                   reads.latency.P99() / 1000.0, 0.0, reads.abort_pct(),
+                   write_decided == 0 ? 0.0
+                                      : Pct(double(write_committed) /
+                                            double(write_decided)),
+                   0.0);
+    }
+  }
+  table.Print();
+  std::cout << "\nDvP reads cost multiple gather rounds and drag the write "
+               "commit rate down as the mix grows (reads concentrate all "
+               "value at the reader). Quorum reads are cheap when the "
+               "network is healthy — the trade the paper states.\n";
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { dvp::bench::Main(); }

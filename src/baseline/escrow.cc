@@ -1,0 +1,67 @@
+#include "baseline/escrow.h"
+
+namespace dvp::baseline {
+
+EscrowSite::EscrowSite(sim::Kernel* kernel, Mode mode, core::Value initial,
+                       SimTime txn_duration_us)
+    : kernel_(kernel),
+      mode_(mode),
+      value_(initial),
+      txn_duration_us_(txn_duration_us) {}
+
+void EscrowSite::Run(core::Value delta, std::function<void(Status)> done) {
+  ++active_;
+  kernel_->Schedule(txn_duration_us_, [this, delta,
+                                       done = std::move(done)]() {
+    // Commit: apply the delta, release the reservation/lock.
+    value_ += delta;
+    if (delta < 0) reserved_dec_ += delta;  // release the reservation
+    --active_;
+    if (mode_ == Mode::kExclusive) locked_ = false;
+    ++stats_.committed;
+    if (done) done(Status::OK());
+  });
+}
+
+void EscrowSite::Decrement(core::Value m, std::function<void(Status)> done) {
+  if (mode_ == Mode::kExclusive) {
+    if (locked_) {
+      ++stats_.aborted_conflict;
+      if (done) done(Status::Conflict("hot spot exclusively locked"));
+      return;
+    }
+    if (value_ < m) {
+      ++stats_.aborted_insufficient;
+      if (done) done(Status::FailedPrecondition("insufficient value"));
+      return;
+    }
+    locked_ = true;
+    Run(-m, std::move(done));
+    return;
+  }
+  // Escrow admission: even if every other reserved decrement commits, this
+  // one must still be coverable.
+  if (value_ - reserved_dec_ < m) {
+    ++stats_.aborted_insufficient;
+    if (done) done(Status::FailedPrecondition("escrow admission failed"));
+    return;
+  }
+  reserved_dec_ += m;
+  Run(-m, std::move(done));
+}
+
+void EscrowSite::Increment(core::Value m, std::function<void(Status)> done) {
+  if (mode_ == Mode::kExclusive) {
+    if (locked_) {
+      ++stats_.aborted_conflict;
+      if (done) done(Status::Conflict("hot spot exclusively locked"));
+      return;
+    }
+    locked_ = true;
+    Run(m, std::move(done));
+    return;
+  }
+  Run(m, std::move(done));
+}
+
+}  // namespace dvp::baseline

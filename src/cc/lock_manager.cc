@@ -1,0 +1,44 @@
+#include "cc/lock_manager.h"
+
+namespace dvp::cc {
+
+bool LockManager::TryLockAll(std::span<const ItemId> items, TxnId owner) {
+  for (ItemId item : items) {
+    auto it = table_.find(item);
+    if (it != table_.end() && it->second != owner) return false;
+  }
+  for (ItemId item : items) table_[item] = owner;
+  return true;
+}
+
+bool LockManager::TryLock(ItemId item, TxnId owner) {
+  auto [it, inserted] = table_.try_emplace(item, owner);
+  return inserted || it->second == owner;
+}
+
+TxnId LockManager::OwnerOf(ItemId item) const {
+  auto it = table_.find(item);
+  return it == table_.end() ? TxnId::Invalid() : it->second;
+}
+
+bool LockManager::HeldBy(ItemId item, TxnId owner) const {
+  auto it = table_.find(item);
+  return it != table_.end() && it->second == owner;
+}
+
+void LockManager::Unlock(ItemId item, TxnId owner) {
+  auto it = table_.find(item);
+  if (it != table_.end() && it->second == owner) table_.erase(it);
+}
+
+void LockManager::ReleaseAll(TxnId owner) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second == owner) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dvp::cc

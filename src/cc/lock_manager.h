@@ -1,0 +1,55 @@
+// Exclusive lock table for one site's fragments. All acquisitions are
+// try-locks: a transaction either obtains every lock it asked for atomically
+// (§5 step 1) or fails immediately, and remote requests on locked fragments
+// are simply ignored. No lock ever waits on another, which is precisely why
+// the scheme "is deadlock-free since there is no situation where an
+// indefinite amount of waiting is involved" (§8).
+//
+// Lock state is volatile by design: §7 shows it is safe — and therefore
+// required by our crash model — to assume no locks are held after a failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dvp::cc {
+
+class LockManager {
+ public:
+  /// Atomically acquires exclusive locks on all `items` for `owner`.
+  /// Returns false (acquiring nothing) if any item is already locked by a
+  /// different transaction. Items may repeat; a transaction never conflicts
+  /// with itself.
+  bool TryLockAll(std::span<const ItemId> items, TxnId owner);
+
+  /// Try-lock for a single item (used by request-handling Rds actions).
+  bool TryLock(ItemId item, TxnId owner);
+
+  bool IsLocked(ItemId item) const { return table_.contains(item); }
+
+  /// Owner of the lock on `item`, or invalid TxnId when free.
+  TxnId OwnerOf(ItemId item) const;
+
+  /// True iff `owner` currently holds the lock on `item`.
+  bool HeldBy(ItemId item, TxnId owner) const;
+
+  /// Releases one lock; no-op unless held by `owner`.
+  void Unlock(ItemId item, TxnId owner);
+
+  /// Releases every lock held by `owner` (§5 step 7).
+  void ReleaseAll(TxnId owner);
+
+  /// Drops the whole table — a crash, or §7 step 1 of recovery.
+  void Clear() { table_.clear(); }
+
+  size_t num_locked() const { return table_.size(); }
+
+ private:
+  std::unordered_map<ItemId, TxnId> table_;
+};
+
+}  // namespace dvp::cc

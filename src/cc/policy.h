@@ -1,0 +1,58 @@
+// Concurrency-control policy selection (§6).
+//
+// Conc1 (timestamping): transaction t may lock fragment d_j only when
+// TS(t) > TS(d_j); granting sets TS(d_j) := TS(t). Conservative — a stale
+// (small-timestamp) transaction is refused even on a free fragment — but
+// serializable with no environment assumptions.
+//
+// Conc2 (two-phase locking): plain strict 2PL per site with no timestamp
+// gate; sound only when the network offers order-synchronous FIFO channels
+// and failure-free ordered broadcast of a transaction's requests (§6.2). The
+// Cluster configures synchronous links and request broadcast in this mode.
+#pragma once
+
+#include "common/types.h"
+
+namespace dvp::cc {
+
+enum class CcScheme {
+  kConc1,  ///< timestamp rule, targeted requests (default)
+  kConc2,  ///< strict 2PL, broadcast requests, synchronous network assumed
+};
+
+/// How an unlocked Vm acceptance stamps the merged fragment under Conc1.
+/// Both are sound; they differ in how many later requesters get refused.
+enum class AcceptStampMode {
+  kCreationTs,  ///< max(old stamp, the Vm's creation timestamp) — the least
+                ///< conservative sound stamp (default)
+  kFreshLocal,  ///< a fresh local timestamp — strictly more conservative;
+                ///< kept for the ablation study (bench_conc)
+};
+
+/// Stateless policy object shared by the transaction manager and the remote
+/// request handler.
+class CcPolicy {
+ public:
+  explicit CcPolicy(CcScheme scheme) : scheme_(scheme) {}
+
+  CcScheme scheme() const { return scheme_; }
+
+  /// Gate applied before any lock grant (local or on behalf of a request).
+  bool MayLock(Timestamp txn_ts, Timestamp fragment_ts) const {
+    if (scheme_ == CcScheme::kConc2) return true;
+    return txn_ts > fragment_ts;
+  }
+
+  /// Whether a grant must advance the fragment timestamp.
+  bool StampOnLock() const { return scheme_ == CcScheme::kConc1; }
+
+  /// Whether a transaction's remote requests travel as one atomic broadcast
+  /// (Conc2's requirement that "all the requests made by a transaction are
+  /// broadcast together").
+  bool BroadcastRequests() const { return scheme_ == CcScheme::kConc2; }
+
+ private:
+  CcScheme scheme_;
+};
+
+}  // namespace dvp::cc

@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace dvp {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sum_ = 0;
+  sorted_ = true;
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / double(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  double pos = q * double(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - double(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double Histogram::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / double(samples_.size() - 1));
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << Median()
+     << " p99=" << P99() << " max=" << max();
+  return os.str();
+}
+
+void CounterSet::Inc(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t CounterSet::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::Merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+std::string CounterSet::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) os << " ";
+    os << k << "=" << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace dvp

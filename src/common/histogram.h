@@ -1,0 +1,57 @@
+// Lightweight statistics helpers used by the benchmark harnesses and the
+// metrics layer: an exact-quantile reservoir-free histogram (we keep all
+// samples; experiment sizes are modest) and a streaming counter set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dvp {
+
+/// Collects numeric samples and reports count/mean/percentiles. Stores all
+/// samples; intended for simulation-scale data (≤ millions of points).
+class Histogram {
+ public:
+  void Add(double v);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile by sorting on demand (q in [0,1]).
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+  double P99() const { return Percentile(0.99); }
+  double StdDev() const;
+
+  /// One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+/// Named monotonically increasing counters, used for per-run metrics such as
+/// messages sent, log forces, aborts by reason.
+class CounterSet {
+ public:
+  void Inc(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  void Merge(const CounterSet& other);
+  void Clear() { counters_.clear(); }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace dvp

@@ -1,0 +1,91 @@
+// Deterministic random number generation for the simulator. Every stochastic
+// component (link delays, workload arrivals, crash schedules) draws from its
+// own seeded stream so experiments are exactly reproducible and components
+// can be toggled without perturbing each other's draws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dvp {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ PRNG. Fast, high quality, trivially copyable; the state can
+/// be snapshotted for crash/restart determinism.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 expansion; seed 0 is remapped to a fixed nonzero.
+  explicit Rng(uint64_t seed);
+
+  /// Derives an independent stream for a named component; same (seed,
+  /// stream_index) always yields the same stream.
+  Rng Fork(uint64_t stream_index) const;
+
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Standard normal (Box–Muller; one value per call).
+  double NextGaussian();
+
+ private:
+  Rng() = default;
+  uint64_t s_[4] = {};
+  uint64_t seed_ = 0;
+};
+
+/// Zipf(θ) sampler over {0, ..., n-1}: P(k) ∝ 1/(k+1)^θ. theta = 0 is
+/// uniform; larger theta skews mass toward small ranks. For small n an exact
+/// inverse-CDF table is used (valid for any θ ≥ 0, including θ ≥ 1 where the
+/// classic Gray et al. approximation breaks down); large n with θ < 1 uses
+/// the approximation.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static constexpr uint64_t kExactLimit = 4096;
+
+  uint64_t n_;
+  double theta_;
+  // Exact mode.
+  std::vector<double> cdf_;
+  // Approximation mode (large n, theta < 1).
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+};
+
+/// Samples an index from non-negative weights (linear scan; used for small
+/// site-selection distributions).
+size_t SampleWeighted(Rng& rng, const std::vector<double>& weights);
+
+}  // namespace dvp

@@ -1,0 +1,165 @@
+// Status / StatusOr: error handling without exceptions, in the style used by
+// production database engines (RocksDB, Arrow). A Status is cheap to copy in
+// the OK case (no allocation) and carries a code + message otherwise.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dvp {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller error: bad parameter / malformed spec
+  kNotFound = 2,         ///< item / site / record does not exist
+  kAborted = 3,          ///< transaction aborted (timeout, CC rejection, ...)
+  kTimeout = 4,          ///< a timeout counter signalled (paper §5 step 3)
+  kUnavailable = 5,      ///< resource unreachable (partition, crashed site)
+  kConflict = 6,         ///< lock or timestamp conflict (Conc1/Conc2)
+  kFailedPrecondition = 7,  ///< operation not valid in current state
+  kCorruption = 8,          ///< log / storage integrity violation
+  kInternal = 9,            ///< invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode (e.g. "Aborted").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: OK or a (code, message) pair.
+///
+/// The OK status is represented by a null state pointer, so returning OK
+/// never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(code, std::move(message))) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Message text; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    State(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null <=> OK
+};
+
+/// A value or an error Status. Minimal local analogue of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from error status (must not be OK).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Implicit from value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dvp
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define DVP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::dvp::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define DVP_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DVP_CONCAT_(_so_, __LINE__) = (expr); \
+  if (!DVP_CONCAT_(_so_, __LINE__).ok())     \
+    return DVP_CONCAT_(_so_, __LINE__).status(); \
+  lhs = std::move(DVP_CONCAT_(_so_, __LINE__)).value()
+
+#define DVP_CONCAT_INNER_(a, b) a##b
+#define DVP_CONCAT_(a, b) DVP_CONCAT_INNER_(a, b)

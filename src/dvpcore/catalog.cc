@@ -1,0 +1,25 @@
+#include "dvpcore/catalog.h"
+
+namespace dvp::core {
+
+ItemId Catalog::AddItem(std::string name, const Domain& domain,
+                        Value initial_total) {
+  items_.push_back(ItemInfo{std::move(name), &domain, initial_total});
+  return ItemId(static_cast<uint32_t>(items_.size() - 1));
+}
+
+StatusOr<ItemId> Catalog::Find(std::string_view name) const {
+  for (uint32_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].name == name) return ItemId(i);
+  }
+  return Status::NotFound("no item named " + std::string(name));
+}
+
+std::vector<ItemId> Catalog::AllItems() const {
+  std::vector<ItemId> out;
+  out.reserve(items_.size());
+  for (uint32_t i = 0; i < items_.size(); ++i) out.push_back(ItemId(i));
+  return out;
+}
+
+}  // namespace dvp::core

@@ -1,0 +1,37 @@
+#include "dvpcore/domain.h"
+
+namespace dvp::core {
+
+namespace {
+Value Sum(std::span<const Value> multiset) {
+  Value total = 0;
+  for (Value v : multiset) total += v;
+  return total;
+}
+}  // namespace
+
+Value CountDomain::Pi(std::span<const Value> multiset) const {
+  return Sum(multiset);
+}
+const CountDomain& CountDomain::Instance() {
+  static const CountDomain kInstance;
+  return kInstance;
+}
+
+Value MoneyDomain::Pi(std::span<const Value> multiset) const {
+  return Sum(multiset);
+}
+const MoneyDomain& MoneyDomain::Instance() {
+  static const MoneyDomain kInstance;
+  return kInstance;
+}
+
+Value GaugeDomain::Pi(std::span<const Value> multiset) const {
+  return Sum(multiset);
+}
+const GaugeDomain& GaugeDomain::Instance() {
+  static const GaugeDomain kInstance;
+  return kInstance;
+}
+
+}  // namespace dvp::core

@@ -1,0 +1,95 @@
+// The Data-value Partitioning abstraction of §4.1.
+//
+// A data item d is drawn from a domain Γ and stored only as a multiset
+// b = Π⁻¹(d) of fragments scattered across sites (plus any in-flight Vm).
+// Π : Γ⁺ → Γ reassembles the value. The *partitionable* property — applying
+// Π group-wise then again over the group results leaves the value unchanged
+// — is what lets a transaction operate on whatever fragments it can reach.
+//
+// All the paper's motivating domains (seats, inventory units, money) are
+// counted quantities under summation; `Value` is therefore int64_t and the
+// Domain interface chiefly fixes Π, the identity element, and which fragment
+// values are legal (seats cannot be negative; an overdraft gauge can).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dvp::core {
+
+/// The scalar carrier for Γ. Counts are unit-less; money is in cents.
+using Value = int64_t;
+
+/// A data-value partitioning Π together with the domain's fragment rules.
+class Domain {
+ public:
+  virtual ~Domain() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Π over a multiset of fragment values.
+  virtual Value Pi(std::span<const Value> multiset) const = 0;
+
+  /// The identity fragment e: Π({x, e}) = x. A site holding no share of an
+  /// item conceptually holds e.
+  virtual Value Identity() const = 0;
+
+  /// True iff `v` is a legal fragment value for this domain.
+  virtual bool ValidFragment(Value v) const = 0;
+
+  /// Largest amount that can be split out of a fragment currently holding
+  /// `fragment` while leaving a legal remainder (used when honoring
+  /// redistribution requests).
+  virtual Value MaxShippable(Value fragment) const = 0;
+};
+
+/// Γ = non-negative counts under summation: airline seats, inventory units.
+/// Fragments must stay >= 0, so "decrement by m if the result does not fall
+/// below 0" is the canonical bounded operator.
+class CountDomain final : public Domain {
+ public:
+  std::string_view name() const override { return "count"; }
+  Value Pi(std::span<const Value> multiset) const override;
+  Value Identity() const override { return 0; }
+  bool ValidFragment(Value v) const override { return v >= 0; }
+  Value MaxShippable(Value fragment) const override {
+    return fragment > 0 ? fragment : 0;
+  }
+
+  static const CountDomain& Instance();
+};
+
+/// Γ = money amounts in cents under summation. Fragments must stay
+/// non-negative — each fragment "is itself some amount of money" (§3).
+class MoneyDomain final : public Domain {
+ public:
+  std::string_view name() const override { return "money"; }
+  Value Pi(std::span<const Value> multiset) const override;
+  Value Identity() const override { return 0; }
+  bool ValidFragment(Value v) const override { return v >= 0; }
+  Value MaxShippable(Value fragment) const override {
+    return fragment > 0 ? fragment : 0;
+  }
+
+  static const MoneyDomain& Instance();
+};
+
+/// Γ = integers under summation with no per-fragment bound; decrements are
+/// always effective. Models gauges/net-position aggregates and demonstrates
+/// the "more data types" extension flagged as future work in §9.
+class GaugeDomain final : public Domain {
+ public:
+  std::string_view name() const override { return "gauge"; }
+  Value Pi(std::span<const Value> multiset) const override;
+  Value Identity() const override { return 0; }
+  bool ValidFragment(Value) const override { return true; }
+  Value MaxShippable(Value fragment) const override { return fragment; }
+
+  static const GaugeDomain& Instance();
+};
+
+}  // namespace dvp::core

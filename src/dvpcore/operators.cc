@@ -1,0 +1,32 @@
+#include "dvpcore/operators.h"
+
+#include <cassert>
+
+namespace dvp::core {
+
+ApplyOutcome IncrementOp::Apply(const Domain& domain, Value fragment) const {
+  assert(amount_ > 0);
+  Value next = fragment + amount_;
+  if (!domain.ValidFragment(next)) return ApplyOutcome::Ineffective();
+  return ApplyOutcome::Applied(next, amount_);
+}
+
+ApplyOutcome BoundedDecrementOp::Apply(const Domain& domain,
+                                       Value fragment) const {
+  assert(amount_ > 0);
+  Value next = fragment - amount_;
+  if (domain.ValidFragment(next)) return ApplyOutcome::Applied(next, -amount_);
+  // For bounded domains the smallest legal remainder is the identity; the
+  // shortfall is what the fragment must gain before the decrement applies.
+  return ApplyOutcome::Insufficient(amount_ - fragment);
+}
+
+std::unique_ptr<PartitionableOp> MakeIncrement(Value amount) {
+  return std::make_unique<IncrementOp>(amount);
+}
+
+std::unique_ptr<PartitionableOp> MakeDecrement(Value amount) {
+  return std::make_unique<BoundedDecrementOp>(amount);
+}
+
+}  // namespace dvp::core

@@ -1,0 +1,109 @@
+// Partitionable operators (§4.1): f is partitionable for (Γ, Π) when its
+// *effective* application to any one fragment of Π⁻¹(d) changes the item's
+// value exactly as applying f to d itself would — so it can run against
+// whatever fragment is locally accessible, commutes with other partitionable
+// operators, and never needs the rest of the multiset.
+//
+// Application is tri-state:
+//   * kApplied      — effective: fragment updated, item value changed by f.
+//   * kInsufficient — the local fragment cannot absorb the operator (e.g.
+//                     decrement would drive it below the domain bound); the
+//                     caller may redistribute (`shortfall` says how much more
+//                     value it must gather) and retry.
+//   * kIneffective  — a no-op by the operator's own semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dvpcore/domain.h"
+
+namespace dvp::core {
+
+/// Result of attempting to apply an operator to one fragment.
+struct ApplyOutcome {
+  enum class Kind { kApplied, kInsufficient, kIneffective };
+  Kind kind = Kind::kIneffective;
+  /// New fragment value (valid when kApplied).
+  Value new_value = 0;
+  /// Change to the item's total value (valid when kApplied).
+  Value delta = 0;
+  /// Minimum extra value the fragment needs before the operator could apply
+  /// (valid when kInsufficient).
+  Value shortfall = 0;
+
+  static ApplyOutcome Applied(Value new_value, Value delta) {
+    return {Kind::kApplied, new_value, delta, 0};
+  }
+  static ApplyOutcome Insufficient(Value shortfall) {
+    return {Kind::kInsufficient, 0, 0, shortfall};
+  }
+  static ApplyOutcome Ineffective() { return {}; }
+
+  bool applied() const { return kind == Kind::kApplied; }
+  bool insufficient() const { return kind == Kind::kInsufficient; }
+};
+
+/// A partitionable operator over a domain.
+class PartitionableOp {
+ public:
+  virtual ~PartitionableOp() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Attempts effective application to a fragment currently holding
+  /// `fragment` under `domain`.
+  virtual ApplyOutcome Apply(const Domain& domain, Value fragment) const = 0;
+
+  /// The operator applied directly to the whole item value — the reference
+  /// semantics used by the serializability checker (g(Π(b)) side of the
+  /// §4.1 identity). Returns the new total, or the old one when the operator
+  /// would be ineffective at that total.
+  virtual Value ApplyToTotal(Value total) const = 0;
+
+  /// Signed change to the item value when the operator applies effectively.
+  virtual Value delta() const = 0;
+};
+
+/// "Increment the argument by m" (m > 0). Always effective.
+class IncrementOp final : public PartitionableOp {
+ public:
+  explicit IncrementOp(Value amount) : amount_(amount) {}
+  std::string name() const override {
+    return "incr(" + std::to_string(amount_) + ")";
+  }
+  ApplyOutcome Apply(const Domain& domain, Value fragment) const override;
+  Value ApplyToTotal(Value total) const override { return total + amount_; }
+  Value delta() const override { return amount_; }
+  Value amount() const { return amount_; }
+
+ private:
+  Value amount_;
+};
+
+/// "Decrement the argument by m if the result does not fall below the domain
+/// bound" (m > 0) — the operator whose bounded form motivates effectiveness
+/// in §4.1. When the fragment alone is too small the outcome is
+/// kInsufficient with the shortfall, triggering redistribution.
+class BoundedDecrementOp final : public PartitionableOp {
+ public:
+  explicit BoundedDecrementOp(Value amount) : amount_(amount) {}
+  std::string name() const override {
+    return "decr(" + std::to_string(amount_) + ")";
+  }
+  ApplyOutcome Apply(const Domain& domain, Value fragment) const override;
+  Value ApplyToTotal(Value total) const override {
+    return total >= amount_ ? total - amount_ : total;
+  }
+  Value delta() const override { return -amount_; }
+  Value amount() const { return amount_; }
+
+ private:
+  Value amount_;
+};
+
+std::unique_ptr<PartitionableOp> MakeIncrement(Value amount);
+std::unique_ptr<PartitionableOp> MakeDecrement(Value amount);
+
+}  // namespace dvp::core

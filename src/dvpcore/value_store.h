@@ -1,0 +1,60 @@
+// The volatile, site-local fragment store: one Fragment per catalog item
+// holding this site's share d_i and its lock timestamp TS(d_i). It is a
+// cache over the stable database image; a crash destroys it and recovery
+// rebuilds it from the image plus the log suffix (§7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dvpcore/catalog.h"
+#include "dvpcore/domain.h"
+
+namespace dvp::core {
+
+/// One site's share of one item.
+struct Fragment {
+  Value value = 0;
+  /// Timestamp of the last transaction to have locked this fragment (§6.1).
+  Timestamp ts = Timestamp::Zero();
+};
+
+class ValueStore {
+ public:
+  /// Creates fragments (identity-valued) for every catalog item.
+  explicit ValueStore(const Catalog* catalog);
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Installs an initial / recovered fragment state.
+  void Install(ItemId item, Value value, Timestamp ts);
+
+  const Fragment& fragment(ItemId item) const {
+    return fragments_[item.value()];
+  }
+  Value value(ItemId item) const { return fragments_[item.value()].value; }
+  Timestamp ts(ItemId item) const { return fragments_[item.value()].ts; }
+
+  /// Overwrites the fragment value (caller has verified domain validity and
+  /// logged the change).
+  void SetValue(ItemId item, Value value) {
+    fragments_[item.value()].value = value;
+  }
+  void SetTs(ItemId item, Timestamp ts) { fragments_[item.value()].ts = ts; }
+
+  uint32_t num_items() const {
+    return static_cast<uint32_t>(fragments_.size());
+  }
+
+  /// Sum of all local fragment values for one item's domain-mates — not
+  /// meaningful across items; helper for audits that iterate items.
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace dvp::core

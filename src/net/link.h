@@ -1,0 +1,61 @@
+// Per-link fault and delay model. Links may "lose, delay, duplicate messages
+// or just fail" (paper §7); this class samples those behaviours from a
+// deterministic RNG stream.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dvp::net {
+
+/// Parameters of a (directed) communication link.
+struct LinkParams {
+  /// Fixed propagation delay component, microseconds.
+  SimTime base_delay_us = 1000;
+  /// Mean of the additional exponential jitter; 0 disables jitter, which
+  /// together with zero loss/duplication yields the FIFO, order-synchronous
+  /// channels Conc2 requires (§6.2).
+  double jitter_mean_us = 500;
+  /// Probability an individual packet is silently dropped.
+  double loss_prob = 0.0;
+  /// Probability a packet is delivered twice (independent of loss).
+  double duplicate_prob = 0.0;
+
+  /// Convenience: a perfectly synchronous, loss-free FIFO link.
+  static LinkParams Synchronous(SimTime delay_us = 1000) {
+    LinkParams p;
+    p.base_delay_us = delay_us;
+    p.jitter_mean_us = 0;
+    p.loss_prob = 0;
+    p.duplicate_prob = 0;
+    return p;
+  }
+};
+
+/// Samples per-packet behaviour for one link.
+class Link {
+ public:
+  Link(LinkParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  const LinkParams& params() const { return params_; }
+  void set_params(LinkParams p) { params_ = p; }
+
+  /// True if this packet instance should be dropped.
+  bool SampleLoss() { return rng_.NextBool(params_.loss_prob); }
+  /// True if an extra copy should be delivered.
+  bool SampleDuplicate() { return rng_.NextBool(params_.duplicate_prob); }
+  /// Delivery latency for one packet instance.
+  SimTime SampleDelay() {
+    SimTime d = params_.base_delay_us;
+    if (params_.jitter_mean_us > 0) {
+      d += static_cast<SimTime>(rng_.NextExponential(params_.jitter_mean_us));
+    }
+    return d;
+  }
+
+ private:
+  LinkParams params_;
+  Rng rng_;
+};
+
+}  // namespace dvp::net

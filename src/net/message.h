@@ -1,0 +1,56 @@
+// Wire-level message representation. The network layer treats payloads as
+// opaque Envelope subclasses defined by the layers above (requests, Vm
+// transfers, 2PC votes, ...). Packets carry the transport metadata the paper
+// assumes from "window protocols" [Tanenbaum 81]: per-channel sequence
+// numbers, a sender epoch (advanced on crash recovery), and a piggybacked
+// cumulative acknowledgement for the reverse channel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace dvp::net {
+
+/// Base class for all application payloads carried by the network.
+/// Payloads are immutable once sent (shared between duplicates).
+class Envelope {
+ public:
+  virtual ~Envelope() = default;
+  /// Short human-readable tag for tracing (e.g. "VmTransfer", "Request").
+  virtual std::string_view Tag() const = 0;
+};
+
+using EnvelopePtr = std::shared_ptr<const Envelope>;
+
+/// Transport classes: reliable messages are numbered, retransmitted and
+/// delivered in order exactly once per epoch; datagrams are fire-and-forget
+/// (the paper notes request messages "need not have unique identifiers as
+/// their delivery is not critical", §8).
+enum class Reliability : uint8_t { kDatagram = 0, kReliable = 1 };
+
+/// A packet in flight.
+struct Packet {
+  SiteId src;
+  SiteId dst;
+  Reliability reliability = Reliability::kDatagram;
+
+  /// Sender incarnation; bumped by recovery so the receiver can reset
+  /// per-channel sequencing state for a reborn sender.
+  uint64_t epoch = 0;
+  /// Per (src,dst,epoch) sequence number; meaningful for reliable packets.
+  MsgSeq seq;
+
+  /// Piggybacked cumulative ack for the reverse channel: "all messages up to
+  /// and including ack_cum in ack_epoch have been received and processed
+  /// safely" (§4.2).
+  uint64_t ack_epoch = 0;
+  uint64_t ack_cum = 0;
+  bool has_ack = false;
+
+  EnvelopePtr payload;  // null for pure acks
+};
+
+}  // namespace dvp::net

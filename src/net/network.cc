@@ -1,0 +1,106 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace dvp::net {
+
+Network::Network(sim::Kernel* kernel, uint32_t num_sites,
+                 LinkParams default_link, Rng rng)
+    : kernel_(kernel),
+      num_sites_(num_sites),
+      partition_(num_sites),
+      default_link_(default_link),
+      rng_(rng),
+      links_(static_cast<size_t>(num_sites) * num_sites),
+      endpoints_(num_sites) {}
+
+void Network::RegisterEndpoint(SiteId site, DeliveryFn deliver,
+                               std::function<bool()> is_up) {
+  assert(site.value() < num_sites_);
+  endpoints_[site.value()] = Endpoint{std::move(deliver), std::move(is_up)};
+}
+
+Link& Network::LinkFor(SiteId src, SiteId dst) {
+  size_t idx = static_cast<size_t>(src.value()) * num_sites_ + dst.value();
+  if (!links_[idx]) {
+    links_[idx] = std::make_unique<Link>(
+        default_link_, rng_.Fork(0x10000 + idx));
+  }
+  return *links_[idx];
+}
+
+void Network::SetLinkParams(SiteId src, SiteId dst, LinkParams params) {
+  LinkFor(src, dst).set_params(params);
+}
+
+void Network::SetAllLinkParams(LinkParams params) {
+  default_link_ = params;
+  for (auto& link : links_) {
+    if (link) link->set_params(params);
+  }
+}
+
+void Network::ScheduleDelivery(const Packet& packet, SimTime delay) {
+  kernel_->Schedule(delay, [this, packet]() {
+    // Connectivity and destination liveness are evaluated at delivery time:
+    // a partition or crash that happened while the packet was in flight
+    // destroys it.
+    if (!partition_.Connected(packet.src, packet.dst)) {
+      ++stats_.packets_lost_partition;
+      return;
+    }
+    const Endpoint& ep = endpoints_[packet.dst.value()];
+    if (!ep.deliver || (ep.is_up && !ep.is_up())) {
+      ++stats_.packets_lost_down;
+      return;
+    }
+    ++stats_.packets_delivered;
+    ep.deliver(packet);
+  });
+}
+
+void Network::Send(Packet packet) {
+  assert(packet.src.value() < num_sites_ && packet.dst.value() < num_sites_);
+  ++stats_.packets_sent;
+  if (packet.src == packet.dst) {
+    // Local loopback: immediate, reliable.
+    ScheduleDelivery(packet, 0);
+    return;
+  }
+  if (!partition_.Connected(packet.src, packet.dst)) {
+    ++stats_.packets_lost_partition;
+    return;
+  }
+  Link& link = LinkFor(packet.src, packet.dst);
+  if (link.SampleLoss()) {
+    ++stats_.packets_lost_link;
+    return;
+  }
+  ScheduleDelivery(packet, link.SampleDelay());
+  if (link.SampleDuplicate()) {
+    ++stats_.packets_duplicated;
+    ScheduleDelivery(packet, link.SampleDelay());
+  }
+}
+
+void Network::Broadcast(SiteId src, EnvelopePtr payload) {
+  // Uniform delay for every destination: together with FIFO links this gives
+  // the "every site receives the broadcasts in the same order" property.
+  SimTime delay = default_link_.base_delay_us;
+  for (uint32_t d = 0; d < num_sites_; ++d) {
+    if (d == src.value()) continue;
+    Packet p;
+    p.src = src;
+    p.dst = SiteId(d);
+    p.reliability = Reliability::kDatagram;
+    p.payload = payload;
+    ++stats_.packets_sent;
+    if (!partition_.Connected(p.src, p.dst)) {
+      ++stats_.packets_lost_partition;
+      continue;
+    }
+    ScheduleDelivery(p, delay);
+  }
+}
+
+}  // namespace dvp::net

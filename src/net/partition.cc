@@ -1,0 +1,70 @@
+#include "net/partition.h"
+
+#include <algorithm>
+
+namespace dvp::net {
+
+PartitionOracle::PartitionOracle(uint32_t num_sites)
+    : group_(num_sites, 0) {}
+
+Status PartitionOracle::Split(
+    const std::vector<std::vector<SiteId>>& groups) {
+  std::vector<uint32_t> assignment(group_.size(),
+                                   std::numeric_limits<uint32_t>::max());
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    for (SiteId s : groups[g]) {
+      if (!s.valid() || s.value() >= group_.size()) {
+        return Status::InvalidArgument("Split: site id out of range");
+      }
+      if (assignment[s.value()] != std::numeric_limits<uint32_t>::max()) {
+        return Status::InvalidArgument("Split: site listed twice");
+      }
+      assignment[s.value()] = g;
+    }
+  }
+  for (uint32_t v : assignment) {
+    if (v == std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("Split: groups must cover every site");
+    }
+  }
+  group_ = std::move(assignment);
+  partitioned_ = groups.size() > 1;
+  ++version_;
+  return Status::OK();
+}
+
+void PartitionOracle::Heal() {
+  std::fill(group_.begin(), group_.end(), 0);
+  partitioned_ = false;
+  ++version_;
+}
+
+Status PartitionOracle::Isolate(SiteId site) {
+  if (!site.valid() || site.value() >= group_.size()) {
+    return Status::InvalidArgument("Isolate: site id out of range");
+  }
+  // Give the isolated site a group id no other site uses.
+  uint32_t fresh = static_cast<uint32_t>(group_.size()) + 1 + site.value();
+  group_[site.value()] = fresh;
+  partitioned_ = true;
+  ++version_;
+  return Status::OK();
+}
+
+bool PartitionOracle::Connected(SiteId a, SiteId b) const {
+  if (a == b) return true;
+  return group_[a.value()] == group_[b.value()];
+}
+
+uint32_t PartitionOracle::GroupOf(SiteId site) const {
+  return group_[site.value()];
+}
+
+uint32_t PartitionOracle::num_groups() const {
+  std::vector<uint32_t> seen(group_.begin(), group_.end());
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return static_cast<uint32_t>(seen.size());
+}
+
+}  // namespace dvp::net

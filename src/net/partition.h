@@ -1,0 +1,56 @@
+// Network-partition model. A partition assigns every site to a group;
+// packets between different groups are dropped at delivery time (messages in
+// flight when the split happens are lost too, matching the paper's worst-case
+// assumption that no undeliverable-message notification exists, §2.2).
+//
+// Crucially, *no component of the DvP system ever queries this oracle* — the
+// paper's central point is that transaction processing needs no partition
+// detection. Only the harness (to inject faults) and the metrics layer (to
+// label results per group) touch it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dvp::net {
+
+/// Mutable record of the current partition of n sites into groups.
+class PartitionOracle {
+ public:
+  explicit PartitionOracle(uint32_t num_sites);
+
+  /// Splits the network: `groups` must cover every site exactly once.
+  Status Split(const std::vector<std::vector<SiteId>>& groups);
+
+  /// Restores full connectivity.
+  void Heal();
+
+  /// Disconnects a single site from everyone else (a "clean" isolation).
+  Status Isolate(SiteId site);
+
+  /// True iff packets can currently flow from a to b.
+  bool Connected(SiteId a, SiteId b) const;
+
+  /// Group index of a site (0 when not partitioned).
+  uint32_t GroupOf(SiteId site) const;
+
+  /// True when more than one group exists.
+  bool IsPartitioned() const { return partitioned_; }
+
+  uint32_t num_sites() const { return static_cast<uint32_t>(group_.size()); }
+  uint32_t num_groups() const;
+
+  /// Monotone counter of topology changes; lets observers cheaply detect
+  /// "something changed since I last looked".
+  uint64_t version() const { return version_; }
+
+ private:
+  std::vector<uint32_t> group_;
+  bool partitioned_ = false;
+  uint64_t version_ = 0;
+};
+
+}  // namespace dvp::net

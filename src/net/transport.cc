@@ -1,0 +1,78 @@
+#include "net/transport.h"
+
+#include <cassert>
+
+namespace dvp::net {
+
+Transport::Transport(sim::Kernel* kernel, Network* network, SiteId self,
+                     Options options)
+    : kernel_(kernel), network_(network), self_(self), options_(options) {}
+
+void Transport::SendDatagram(SiteId dst, EnvelopePtr payload) {
+  Packet p;
+  p.src = self_;
+  p.dst = dst;
+  p.reliability = Reliability::kDatagram;
+  p.seq = MsgSeq(next_seq_++);
+  p.payload = std::move(payload);
+  network_->Send(std::move(p));
+}
+
+void Transport::SendReliable(SiteId dst, uint64_t token,
+                             EnvelopePtr payload) {
+  Packet p;
+  p.src = self_;
+  p.dst = dst;
+  p.reliability = Reliability::kReliable;
+  p.seq = MsgSeq(next_seq_++);
+  p.payload = payload;
+  network_->Send(std::move(p));
+  pending_[token] = PendingSend{dst, std::move(payload)};
+  ArmTimer();
+}
+
+void Transport::CancelReliable(uint64_t token) { pending_.erase(token); }
+
+void Transport::Broadcast(EnvelopePtr payload) {
+  network_->Broadcast(self_, std::move(payload));
+}
+
+void Transport::OnPacket(const Packet& packet) {
+  if (!packet.payload) return;  // pure-ack packets carry no payload
+  if (deliver_fn_) deliver_fn_(packet.src, packet.payload);
+}
+
+void Transport::Crash() {
+  pending_.clear();
+  // Invalidate any armed timer: its generation check will fail.
+  ++generation_;
+  timer_armed_ = false;
+}
+
+void Transport::ArmTimer() {
+  if (timer_armed_ || pending_.empty()) return;
+  timer_armed_ = true;
+  uint64_t gen = generation_;
+  kernel_->Schedule(options_.rto_us, [this, gen]() {
+    if (gen != generation_) return;  // crashed since; timer is stale
+    timer_armed_ = false;
+    OnTimer();
+  });
+}
+
+void Transport::OnTimer() {
+  for (const auto& [token, send] : pending_) {
+    (void)token;
+    Packet p;
+    p.src = self_;
+    p.dst = send.dst;
+    p.reliability = Reliability::kReliable;
+    p.seq = MsgSeq(next_seq_++);
+    p.payload = send.payload;
+    network_->Send(std::move(p));
+    ++retransmissions_;
+  }
+  ArmTimer();
+}
+
+}  // namespace dvp::net

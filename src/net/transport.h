@@ -1,0 +1,92 @@
+// Per-site transport: at-least-once delivery for "crucial" payloads.
+//
+// The paper builds Vm on a window protocol with numbered messages and
+// piggybacked cumulative acks (§4.2) and observes that unique per-message
+// identifiers are not essential (§8). We implement the equivalent but
+// crash-proof form: the transport retransmits a reliable payload on a timer
+// until the layer above cancels it (which it does after durably logging the
+// acknowledgement), and *exactly-once* semantics are enforced above us by the
+// Vm layer's logged duplicate detection — volatile sequence numbers cannot
+// survive a crash, logged Vm identifiers can. Requests and acks travel as
+// fire-and-forget datagrams since "their delivery is not critical".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/kernel.h"
+
+namespace dvp::net {
+
+class Transport {
+ public:
+  struct Options {
+    /// Retransmission interval for unacked reliable payloads.
+    SimTime rto_us = 50'000;
+  };
+
+  Transport(sim::Kernel* kernel, Network* network, SiteId self,
+            Options options);
+
+  /// Fire-and-forget send.
+  void SendDatagram(SiteId dst, EnvelopePtr payload);
+
+  /// Sends `payload` now and keeps retransmitting every rto until
+  /// CancelReliable(token) is called. `token` is chosen by the caller (the Vm
+  /// layer passes the VmId) and must be unique among live reliable sends.
+  void SendReliable(SiteId dst, uint64_t token, EnvelopePtr payload);
+
+  /// Stops retransmitting `token`. Idempotent; unknown tokens are ignored
+  /// (a duplicate ack after the first is the normal case).
+  void CancelReliable(uint64_t token);
+
+  /// Ordered-broadcast datagram to all other sites (Conc2's environment
+  /// primitive; meaningful under synchronous link params).
+  void Broadcast(EnvelopePtr payload);
+
+  /// Wire entry: the Site routes incoming packets here; the transport simply
+  /// hands the payload up (dedup lives in the Vm layer).
+  void OnPacket(const Packet& packet);
+
+  /// Upper-layer delivery hook.
+  void set_deliver_fn(std::function<void(SiteId from, EnvelopePtr)> fn) {
+    deliver_fn_ = std::move(fn);
+  }
+
+  /// Crash: all volatile retransmission state evaporates. The Vm layer
+  /// re-registers outstanding sends from its log during recovery.
+  void Crash();
+
+  /// Number of payloads currently being retransmitted.
+  size_t outstanding() const { return pending_.size(); }
+
+  uint64_t retransmissions() const { return retransmissions_; }
+  SiteId self() const { return self_; }
+
+ private:
+  void ArmTimer();
+  void OnTimer();
+
+  struct PendingSend {
+    SiteId dst;
+    EnvelopePtr payload;
+  };
+
+  sim::Kernel* kernel_;
+  Network* network_;
+  SiteId self_;
+  Options options_;
+  std::function<void(SiteId, EnvelopePtr)> deliver_fn_;
+  std::map<uint64_t, PendingSend> pending_;
+  bool timer_armed_ = false;
+  uint64_t generation_ = 0;  // invalidates timers across crashes
+  uint64_t retransmissions_ = 0;
+  uint64_t next_seq_ = 1;  // tracing only
+};
+
+}  // namespace dvp::net

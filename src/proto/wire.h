@@ -1,0 +1,95 @@
+// Wire protocol of the DvP system: the message kinds the paper's protocol
+// exchanges between sites.
+//
+//  * RequestMsg    — "send me (part of) your d_j" for one or more items
+//                    (§5 step 2). All of one transaction's requests travel
+//                    in a single message so Conc2 can broadcast them together
+//                    atomically (§6.2). Datagram: delivery is not critical
+//                    (§8); a lost request at worst costs a timeout abort.
+//  * VmTransferMsg — the real message carrying a Vm's value. Reliable:
+//                    retransmitted until the recipient's acceptance ack is
+//                    durably processed, so the Vm is never lost (§4.2).
+//  * VmAckMsg      — recipient → sender after the acceptance record is
+//                    forced: the sender stops retransmitting and logs the
+//                    Vm's death. Datagram; duplicates of the transfer are
+//                    re-acked, so a lost ack only delays cleanup.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "dvpcore/domain.h"
+#include "net/message.h"
+
+namespace dvp::proto {
+
+/// One item's worth of a request. `read_all` marks a traditional full read:
+/// the remote must ship its *entire* fragment and may only do so when it has
+/// no outstanding Vm for the item (§5); otherwise `amount` is the shortfall
+/// the origin needs.
+struct RequestPart {
+  ItemId item;
+  core::Value amount = 0;
+  bool read_all = false;
+};
+
+/// Request for data values (§5 step 2).
+struct RequestMsg final : public net::Envelope {
+  TxnId txn;               ///< requesting transaction
+  uint64_t ts_packed = 0;  ///< TS(t), gating the grant under Conc1
+  SiteId origin;           ///< site executing the transaction
+  /// Full-read round number; reads iterate gather rounds until the system
+  /// quiesces on the item (N_M = 0 in the paper's notation, §3).
+  uint32_t round = 1;
+  std::vector<RequestPart> parts;
+
+  std::string_view Tag() const override { return "Request"; }
+};
+
+/// A real message belonging to a Vm.
+struct VmTransferMsg final : public net::Envelope {
+  VmId vm;
+  SiteId src;
+  ItemId item;
+  core::Value amount = 0;
+  /// Transaction the value was requested for; lets the origin match replies
+  /// to the waiting transaction. Invalid for spontaneous redistribution.
+  TxnId for_txn;
+  /// Lamport timestamp at creation; bumps the recipient's clock (§7).
+  uint64_t ts_packed = 0;
+
+  // ---- Full-read reply metadata (meaningful when is_read_reply) ----------
+  bool is_read_reply = false;
+  /// Which gather round this reply answers.
+  uint32_t round = 0;
+  /// The sender's lifetime count of accepted Vm at reply time. The reader
+  /// terminates only after two consecutive all-zero rounds with unchanged
+  /// counters — evidence that no value moved anywhere in between (the
+  /// N_M = 0 condition of §3 turned into a termination-detection rule).
+  uint64_t accept_count = 0;
+
+  std::string_view Tag() const override { return "VmTransfer"; }
+};
+
+/// Acknowledgement that `vm` was durably accepted.
+struct VmAckMsg final : public net::Envelope {
+  VmId vm;
+  SiteId from;
+  uint64_t ts_packed = 0;
+
+  std::string_view Tag() const override { return "VmAck"; }
+};
+
+/// Courtesy refusal when the Conc1 timestamp rule blocks a request: carries
+/// the refusing site's clock so the origin's Lamport counter catches up
+/// (§7's "bump-up" — without it, a site with a lagging clock could have its
+/// requests refused indefinitely). A retry of the transaction then carries a
+/// competitive timestamp. Purely an optimisation; losing it costs nothing.
+struct CcNackMsg final : public net::Envelope {
+  SiteId from;
+  uint64_t ts_packed = 0;
+
+  std::string_view Tag() const override { return "CcNack"; }
+};
+
+}  // namespace dvp::proto

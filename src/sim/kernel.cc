@@ -1,0 +1,56 @@
+#include "sim/kernel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dvp::sim {
+
+EventHandle Kernel::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
+  return EventHandle(flag);
+}
+
+SimTime Kernel::NextEventTime() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  return queue_.empty() ? kSimTimeMax : queue_.top().when;
+}
+
+bool Kernel::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;  // skip disarmed timers
+    now_ = ev.when;
+    ev.fn();
+    ++events_executed_;
+    if (post_event_hook_) post_event_hook_();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Kernel::Run(SimTime until) {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled events without advancing time.
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++events_executed_;
+    ++executed;
+    if (post_event_hook_) post_event_hook_();
+  }
+  if (now_ < until && until != kSimTimeMax) now_ = until;
+  return executed;
+}
+
+}  // namespace dvp::sim

@@ -1,0 +1,104 @@
+// Deterministic discrete-event simulation kernel. All components (sites,
+// network links, workload generators, failure injectors) schedule callbacks
+// on a shared virtual clock. Determinism comes from (time, sequence) ordering
+// of events and seeded RNG streams — a run is a pure function of its seed and
+// schedule, which is what lets the tests assert exact invariants under fault
+// injection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dvp::sim {
+
+/// Handle to a scheduled event; allows cancellation (used for transaction
+/// timeout counters that are disarmed when all replies arrive).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void Cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool valid() const { return cancelled_ != nullptr; }
+  bool cancelled() const { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class Kernel;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event queue + virtual clock.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current virtual time (microseconds).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= Now()).
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  EventHandle Schedule(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or virtual time would exceed
+  /// `until`. Returns the number of events executed.
+  uint64_t Run(SimTime until = kSimTimeMax);
+
+  /// Executes exactly one event if any is pending. Returns false when idle.
+  bool Step();
+
+  /// True when no events remain.
+  bool Idle() const { return queue_.empty(); }
+
+  /// Virtual time of the next live (non-cancelled) event, or kSimTimeMax
+  /// when the queue is drained. Pops cancelled tombstones as a side effect.
+  SimTime NextEventTime();
+
+  /// Number of pending events (live, not yet cancelled-and-popped).
+  size_t PendingEvents() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Optional hook invoked after every executed event; used by the
+  /// conservation auditor in tests to check invariants at each step.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break at equal times
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::function<void()> post_event_hook_;
+};
+
+}  // namespace dvp::sim

@@ -1,0 +1,196 @@
+#include "site/site.h"
+
+#include <cassert>
+
+#include "proto/wire.h"
+
+namespace dvp::site {
+
+Site::Site(SiteId id, sim::Kernel* kernel, net::Network* network,
+           wal::StableStorage* storage, const core::Catalog* catalog, Rng rng,
+           SiteOptions options)
+    : id_(id),
+      kernel_(kernel),
+      network_(network),
+      storage_(storage),
+      catalog_(catalog),
+      rng_(rng),
+      options_(options),
+      clock_(id) {
+  network_->RegisterEndpoint(
+      id_,
+      [this](const net::Packet& packet) {
+        if (!up_ || !transport_) return;
+        transport_->OnPacket(packet);
+      },
+      [this]() { return up_; });
+}
+
+Site::~Site() = default;
+
+void Site::BuildVolatile() {
+  store_ = std::make_unique<core::ValueStore>(catalog_);
+  locks_ = std::make_unique<cc::LockManager>();
+  transport_ = std::make_unique<net::Transport>(kernel_, network_, id_,
+                                                options_.transport);
+  transport_->set_deliver_fn([this](SiteId from, net::EnvelopePtr payload) {
+    OnEnvelope(from, std::move(payload));
+  });
+  bool stamp_on_accept = options_.txn.scheme == cc::CcScheme::kConc1;
+  vm_ = std::make_unique<vm::VmManager>(
+      id_, storage_, store_.get(), locks_.get(), transport_.get(), &clock_,
+      &counters_, stamp_on_accept, options_.txn.accept_stamp);
+  txn_ = std::make_unique<txn::TxnManager>(
+      id_, network_->num_sites(), kernel_, storage_, store_.get(),
+      locks_.get(), vm_.get(), transport_.get(), &clock_, &counters_,
+      rng_.Fork(0xff00 + lifecycle_generation_), options_.txn);
+}
+
+void Site::Bootstrap(const std::map<ItemId, core::Value>& initial_fragments) {
+  assert(!up_ && "Bootstrap is for first boot only");
+  if (up_) return;  // release-build guard
+  BuildVolatile();
+  for (const auto& [item, value] : initial_fragments) {
+    assert(catalog_->domain(item).ValidFragment(value));
+    storage_->WriteImage(item, value, Timestamp::Zero().packed());
+    store_->Install(item, value, Timestamp::Zero());
+  }
+  storage_->set_checkpoint_upto(storage_->log_size());
+  up_ = true;
+  ArmCheckpointTimer();
+}
+
+StatusOr<TxnId> Site::Submit(const txn::TxnSpec& spec, txn::TxnCallback cb) {
+  if (!up_) return Status::Unavailable("site is down");
+  return txn_->Begin(spec, std::move(cb));
+}
+
+void Site::Crash() {
+  if (!up_) return;
+  up_ = false;
+  ++lifecycle_generation_;
+  counters_.Inc("site.crashes");
+  // Pending transactions get their final verdict before the state dies.
+  txn_->CrashAbortAll();
+  transport_->Crash();
+  txn_.reset();
+  vm_.reset();
+  transport_.reset();
+  locks_.reset();
+  store_.reset();
+}
+
+void Site::Recover(
+    std::function<void(const recovery::RecoveryReport&)> done) {
+  assert(!up_ && !recovering_ && "Recover requires a crashed, idle site");
+  if (up_ || recovering_) return;  // release-build guard: idempotent
+  recovering_ = true;
+  SimTime duration = recovery::RecoveryDuration(*storage_,
+                                                options_.recovery_us_per_record);
+  uint64_t gen = ++lifecycle_generation_;
+  kernel_->Schedule(duration, [this, gen, done = std::move(done)]() {
+    if (gen != lifecycle_generation_) return;
+    recovering_ = false;
+
+    BuildVolatile();
+    recovery::RecoveryReport report;
+    Status s = recovery::RebuildStore(*storage_, store_.get(), &report);
+    assert(s.ok() && "log corruption during recovery");
+    (void)s;
+
+    // §7: stale local counters are safe; restore the watermark we have.
+    clock_.Reset(report.clock_counter);
+
+    storage_->set_incarnation(storage_->incarnation() + 1);
+    storage_->Append(wal::LogRecord(
+        wal::RecoveryRec{storage_->incarnation(), report.clock_counter}));
+
+    // Re-arm outstanding Vm (the log is their home; the transport merely
+    // retries them).
+    vm_->RestoreFromLog();
+
+    up_ = true;
+    counters_.Inc("site.recoveries");
+    ArmCheckpointTimer();
+    if (done) done(report);
+  });
+}
+
+void Site::Checkpoint() {
+  if (!up_) return;
+  for (uint32_t i = 0; i < store_->num_items(); ++i) {
+    const core::Fragment& frag = store_->fragment(ItemId(i));
+    storage_->WriteImage(ItemId(i), frag.value, frag.ts.packed());
+  }
+  // The marker goes in first so the watermark covers it: a checkpoint
+  // leaves nothing to replay.
+  storage_->Append(wal::LogRecord(wal::CheckpointRec{}));
+  storage_->set_checkpoint_upto(storage_->log_size());
+  counters_.Inc("site.checkpoints");
+}
+
+void Site::ArmCheckpointTimer() {
+  if (options_.checkpoint_interval_us <= 0) return;
+  uint64_t gen = lifecycle_generation_;
+  kernel_->Schedule(options_.checkpoint_interval_us, [this, gen]() {
+    if (gen != lifecycle_generation_ || !up_) return;
+    Checkpoint();
+    ArmCheckpointTimer();
+  });
+}
+
+void Site::Prefetch(ItemId item, core::Value amount) {
+  if (up_) txn_->Prefetch(item, amount);
+}
+
+Status Site::SendValue(SiteId dst, ItemId item, core::Value amount) {
+  if (!up_) return Status::Unavailable("site is down");
+  return txn_->SendValue(dst, item, amount);
+}
+
+core::Value Site::LocalValue(ItemId item) const {
+  assert(up_);
+  return store_->value(item);
+}
+
+core::Value Site::DurableValue(ItemId item) const {
+  core::ValueStore scratch(catalog_);
+  recovery::RecoveryReport report;
+  Status s = recovery::RebuildStore(*storage_, &scratch, &report);
+  assert(s.ok());
+  (void)s;
+  return scratch.value(item);
+}
+
+void Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
+  if (!up_) return;
+  if (const auto* req =
+          dynamic_cast<const proto::RequestMsg*>(payload.get())) {
+    txn_->OnRequest(from, *req);
+    return;
+  }
+  if (const auto* transfer =
+          dynamic_cast<const proto::VmTransferMsg*>(payload.get())) {
+    if (vm_->AlreadyAccepted(transfer->vm)) {
+      vm_->ReAck(*transfer);
+      return;
+    }
+    if (!txn_->RouteVmTransfer(from, *transfer)) {
+      vm_->AcceptOrIgnore(*transfer);
+    }
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const proto::VmAckMsg*>(payload.get())) {
+    vm_->OnAck(*ack);
+    return;
+  }
+  if (const auto* nack =
+          dynamic_cast<const proto::CcNackMsg*>(payload.get())) {
+    clock_.Observe(Timestamp::FromPacked(nack->ts_packed));
+    counters_.Inc("req.nack_received");
+    return;
+  }
+  counters_.Inc("msg.unknown");
+}
+
+}  // namespace dvp::site

@@ -1,0 +1,126 @@
+// One site of the DvP system: the composition of fragment store, lock table,
+// Vm machinery, transaction manager, transport and stable storage, plus the
+// crash/recover lifecycle. Volatile components live behind unique_ptrs and
+// are destroyed wholesale on a crash; the StableStorage object is owned by
+// the harness and survives, mirroring disk vs RAM.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "cc/lock_manager.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "dvpcore/catalog.h"
+#include "dvpcore/value_store.h"
+#include "net/network.h"
+#include "net/transport.h"
+#include "recovery/recovery.h"
+#include "sim/kernel.h"
+#include "txn/txn.h"
+#include "txn/txn_manager.h"
+#include "vm/vm_manager.h"
+#include "wal/stable_storage.h"
+
+namespace dvp::site {
+
+struct SiteOptions {
+  txn::TxnManagerOptions txn;
+  net::Transport::Options transport;
+  /// Automatic checkpoint period; 0 disables (manual Checkpoint() only).
+  SimTime checkpoint_interval_us = 0;
+  /// Simulated redo cost per log-suffix record during recovery.
+  SimTime recovery_us_per_record = 5;
+};
+
+class Site {
+ public:
+  Site(SiteId id, sim::Kernel* kernel, net::Network* network,
+       wal::StableStorage* storage, const core::Catalog* catalog, Rng rng,
+       SiteOptions options);
+  ~Site();
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// First boot: installs this site's initial fragment allocation into the
+  /// stable image and the live store. Call once, before running.
+  void Bootstrap(const std::map<ItemId, core::Value>& initial_fragments);
+
+  /// Submits a transaction here (§5). Fails fast when the site is down.
+  StatusOr<TxnId> Submit(const txn::TxnSpec& spec, txn::TxnCallback cb);
+
+  // ---- Failure lifecycle ---------------------------------------------------
+
+  /// Clean crash: volatile state evaporates; pending transactions report
+  /// site-failure (or commit, if their commit record was already forced).
+  void Crash();
+
+  /// Begins recovery; the site comes back up after the simulated redo time
+  /// and is immediately able to process local transactions — no remote
+  /// communication happens at any point (§7).
+  void Recover(std::function<void(const recovery::RecoveryReport&)> done =
+                   nullptr);
+
+  bool IsUp() const { return up_; }
+
+  /// Flushes the fragment store to the stable image and advances the
+  /// checkpoint, shortening future recoveries.
+  void Checkpoint();
+
+  // ---- Redistribution conveniences (Rds transactions, §5) ------------------
+
+  void Prefetch(ItemId item, core::Value amount);
+  Status SendValue(SiteId dst, ItemId item, core::Value amount);
+
+  // ---- Introspection --------------------------------------------------------
+
+  SiteId id() const { return id_; }
+  const core::Catalog& catalog() const { return *catalog_; }
+  wal::StableStorage& storage() { return *storage_; }
+  const wal::StableStorage& storage() const { return *storage_; }
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+
+  /// Live fragment value; requires the site to be up.
+  core::Value LocalValue(ItemId item) const;
+
+  /// The value recovery would produce — authoritative even while down.
+  core::Value DurableValue(ItemId item) const;
+
+  core::ValueStore* store() { return store_.get(); }
+  cc::LockManager* locks() { return locks_.get(); }
+  vm::VmManager* vm() { return vm_.get(); }
+  txn::TxnManager* txns() { return txn_.get(); }
+  net::Transport* transport() { return transport_.get(); }
+  LamportClock& clock() { return clock_; }
+
+ private:
+  void BuildVolatile();
+  void OnEnvelope(SiteId from, net::EnvelopePtr payload);
+  void ArmCheckpointTimer();
+
+  SiteId id_;
+  sim::Kernel* kernel_;
+  net::Network* network_;
+  wal::StableStorage* storage_;
+  const core::Catalog* catalog_;
+  Rng rng_;
+  SiteOptions options_;
+  CounterSet counters_;
+  LamportClock clock_;
+  bool up_ = false;
+  bool recovering_ = false;
+  uint64_t lifecycle_generation_ = 0;  // invalidates stale timers
+
+  // Volatile components (destroyed on crash).
+  std::unique_ptr<core::ValueStore> store_;
+  std::unique_ptr<cc::LockManager> locks_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<vm::VmManager> vm_;
+  std::unique_ptr<txn::TxnManager> txn_;
+};
+
+}  // namespace dvp::site

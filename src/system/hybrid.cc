@@ -1,0 +1,126 @@
+#include "system/hybrid.h"
+
+#include <algorithm>
+
+namespace dvp::system {
+
+HybridController::HybridController(Cluster* cluster, HybridOptions options,
+                                   uint64_t seed)
+    : cluster_(cluster),
+      options_(options),
+      client_(cluster, options.retry, seed) {
+  items_.resize(cluster->catalog().num_items());
+  for (auto& state : items_) {
+    state.reads_by_site.assign(cluster->num_sites(), 0);
+  }
+}
+
+void HybridController::Start() {
+  cluster_->kernel().Schedule(options_.tick_us, [this]() {
+    Tick();
+    Start();
+  });
+}
+
+void HybridController::RecordAccess(ItemId item, bool is_read, SiteId at) {
+  ItemState& state = items_[item.value()];
+  if (is_read) {
+    ++state.window_reads;
+    ++state.reads_by_site[at.value()];
+  } else {
+    ++state.window_updates;
+  }
+}
+
+HybridController::Mode HybridController::mode(ItemId item) const {
+  return items_[item.value()].mode;
+}
+
+SiteId HybridController::home(ItemId item) const {
+  const ItemState& state = items_[item.value()];
+  return state.mode == Mode::kConsolidated ? state.home : SiteId::Invalid();
+}
+
+SiteId HybridController::PreferredReadSite(ItemId item,
+                                           SiteId fallback) const {
+  const ItemState& state = items_[item.value()];
+  return state.mode == Mode::kConsolidated ? state.home : fallback;
+}
+
+void HybridController::Tick() {
+  for (uint32_t i = 0; i < items_.size(); ++i) {
+    ItemState& state = items_[i];
+    uint64_t total = state.window_reads + state.window_updates;
+    if (state.transition_in_flight || total < options_.min_accesses) {
+      state.window_reads = 0;
+      state.window_updates = 0;
+      std::fill(state.reads_by_site.begin(), state.reads_by_site.end(), 0);
+      continue;
+    }
+    double read_fraction = double(state.window_reads) / double(total);
+    if (state.mode == Mode::kPartitioned &&
+        read_fraction >= options_.consolidate_read_fraction) {
+      // Drain to the site doing most of the reading.
+      auto it = std::max_element(state.reads_by_site.begin(),
+                                 state.reads_by_site.end());
+      SiteId target(
+          static_cast<uint32_t>(it - state.reads_by_site.begin()));
+      Consolidate(ItemId(i), target);
+    } else if (state.mode == Mode::kConsolidated &&
+               read_fraction <= options_.resplit_read_fraction) {
+      Resplit(ItemId(i));
+    }
+    state.window_reads = 0;
+    state.window_updates = 0;
+    std::fill(state.reads_by_site.begin(), state.reads_by_site.end(), 0);
+  }
+}
+
+void HybridController::Consolidate(ItemId item, SiteId target) {
+  ItemState& state = items_[item.value()];
+  state.transition_in_flight = true;
+  txn::TxnSpec drain;
+  drain.ops = {txn::TxnOp::ReadFull(item)};
+  drain.label = "hybrid.consolidate";
+  client_.Submit(target, drain, [this, item, target](const RetryOutcome& o) {
+    ItemState& state = items_[item.value()];
+    state.transition_in_flight = false;
+    if (o.result.committed()) {
+      state.mode = Mode::kConsolidated;
+      state.home = target;
+      ++stats_.consolidations;
+    } else {
+      ++stats_.failed_transitions;  // try again on a later tick
+    }
+  });
+}
+
+void HybridController::Resplit(ItemId item) {
+  ItemState& state = items_[item.value()];
+  if (!cluster_->site(state.home).IsUp()) {
+    ++stats_.failed_transitions;
+    return;
+  }
+  // Push even shares from the home to every other site. These are plain Rds
+  // transfers: conservation holds throughout, and a failure just leaves the
+  // value partially redistributed — harmless, retried next tick.
+  core::Value total = cluster_->site(state.home).LocalValue(item);
+  uint32_t n = cluster_->num_sites();
+  std::vector<core::Value> shares = SplitEven(total, n);
+  bool all_ok = true;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (s == state.home.value() || shares[s] <= 0) continue;
+    Status sent =
+        cluster_->site(state.home).SendValue(SiteId(s), item, shares[s]);
+    if (!sent.ok()) all_ok = false;
+  }
+  if (all_ok) {
+    state.mode = Mode::kPartitioned;
+    state.home = SiteId::Invalid();
+    ++stats_.resplits;
+  } else {
+    ++stats_.failed_transitions;
+  }
+}
+
+}  // namespace dvp::system

@@ -1,0 +1,98 @@
+// Dynamic hybrid placement (§8): "it may be preferable to design systems
+// that can respond to different situations by dynamically interchanging
+// between a DvP scheme and some traditional scheme."
+//
+// The controller watches each item's access mix over a sliding window:
+//   * when full reads dominate, it CONSOLIDATES the item — drains Π⁻¹(d) to
+//     the site issuing most reads (a ReadFull transaction does exactly this),
+//     after which reads at that site are local and exact while remote
+//     updates pay per-operation redistribution;
+//   * when updates dominate again, it RE-SPLITS — pushes even shares back to
+//     every site with Rds SendValue transfers, restoring local-update
+//     throughput everywhere.
+// Both transitions are ordinary DvP transactions/redistributions: no new
+// protocol, no global coordination, and every invariant (conservation,
+// non-blocking) holds throughout — which is the point of doing it this way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "system/cluster.h"
+#include "system/retry_client.h"
+
+namespace dvp::system {
+
+struct HybridOptions {
+  /// Controller evaluation period.
+  SimTime tick_us = 500'000;
+  /// Consolidate when reads are at least this fraction of window accesses
+  /// (and there are at least min_accesses).
+  double consolidate_read_fraction = 0.3;
+  /// Re-split when reads fall to or below this fraction.
+  double resplit_read_fraction = 0.05;
+  uint64_t min_accesses = 10;
+  RetryPolicy retry;
+};
+
+class HybridController {
+ public:
+  enum class Mode { kPartitioned, kConsolidated };
+
+  struct Stats {
+    uint64_t consolidations = 0;
+    uint64_t resplits = 0;
+    uint64_t failed_transitions = 0;
+  };
+
+  HybridController(Cluster* cluster, HybridOptions options, uint64_t seed);
+
+  /// Starts the periodic evaluation loop.
+  void Start();
+
+  /// Access notification (call from the workload path; the bench's driver
+  /// hook does). Reads at the consolidated home are what the controller is
+  /// optimising for.
+  void RecordAccess(ItemId item, bool is_read, SiteId at);
+
+  Mode mode(ItemId item) const;
+  /// Home site of a consolidated item (invalid when partitioned).
+  SiteId home(ItemId item) const;
+  const Stats& stats() const { return stats_; }
+
+  /// Hint for workloads: the site where a read of `item` is currently
+  /// cheapest (its home when consolidated, anywhere otherwise).
+  SiteId PreferredReadSite(ItemId item, SiteId fallback) const;
+
+  /// Routing hint for updates: while consolidated, updates execute at the
+  /// home (the traditional single-copy discipline — remote fragments are
+  /// empty, so executing elsewhere would pull the value straight back out);
+  /// while partitioned, anywhere.
+  SiteId PreferredUpdateSite(ItemId item, SiteId fallback) const {
+    return PreferredReadSite(item, fallback);
+  }
+
+ private:
+  struct ItemState {
+    Mode mode = Mode::kPartitioned;
+    SiteId home;
+    bool transition_in_flight = false;
+    uint64_t window_reads = 0;
+    uint64_t window_updates = 0;
+    std::vector<uint64_t> reads_by_site;
+  };
+
+  void Tick();
+  void Consolidate(ItemId item, SiteId target);
+  void Resplit(ItemId item);
+
+  Cluster* cluster_;
+  HybridOptions options_;
+  RetryingClient client_;
+  std::vector<ItemState> items_;
+  Stats stats_;
+};
+
+}  // namespace dvp::system

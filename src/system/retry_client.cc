@@ -1,0 +1,53 @@
+#include "system/retry_client.h"
+
+namespace dvp::system {
+
+void RetryingClient::Submit(SiteId at, const txn::TxnSpec& spec,
+                            std::function<void(const RetryOutcome&)> done) {
+  Attempt(at, spec, 1, policy_.base_backoff_us, std::move(done));
+}
+
+void RetryingClient::Attempt(SiteId at, txn::TxnSpec spec, uint32_t attempt,
+                             SimTime backoff_us,
+                             std::function<void(const RetryOutcome&)> done) {
+  // Shared so the completion survives whichever path fires: the transaction
+  // callback, or the synchronous Submit failure below (which destroys the
+  // callback unfired).
+  auto done_shared =
+      std::make_shared<std::function<void(const RetryOutcome&)>>(
+          std::move(done));
+  auto submitted = cluster_->Submit(
+      at, spec,
+      [this, at, spec, attempt, backoff_us,
+       done_shared](const txn::TxnResult& r) mutable {
+        auto done = std::move(*done_shared);
+        if (r.committed() || !Retryable(r) ||
+            attempt >= policy_.max_attempts) {
+          if (done) done(RetryOutcome{r, attempt});
+          return;
+        }
+        ++total_retries_;
+        // Randomised backoff: jitter desynchronises colliding clients.
+        double jitter = 1.0 + policy_.jitter_fraction *
+                                  (2.0 * rng_.NextDouble() - 1.0);
+        SimTime delay = std::max<SimTime>(
+            1, static_cast<SimTime>(double(backoff_us) * jitter));
+        SimTime next_backoff = static_cast<SimTime>(
+            double(backoff_us) * policy_.backoff_multiplier);
+        cluster_->kernel().Schedule(
+            delay, [this, at, spec = std::move(spec), attempt, next_backoff,
+                    done = std::move(done)]() mutable {
+              Attempt(at, std::move(spec), attempt + 1, next_backoff,
+                      std::move(done));
+            });
+      });
+  if (!submitted.ok()) {
+    // Site down: final, no retry loop against a dead site.
+    txn::TxnResult r;
+    r.outcome = txn::TxnOutcome::kAbortSiteFailure;
+    r.status = submitted.status();
+    if (*done_shared) (*done_shared)(RetryOutcome{r, attempt});
+  }
+}
+
+}  // namespace dvp::system

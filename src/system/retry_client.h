@@ -1,0 +1,71 @@
+// Client-side retry with randomised exponential backoff — the "additional
+// mechanisms" §8 alludes to for avoiding livelock, and the natural companion
+// to Conc1's conservatism: lock conflicts, timestamp refusals and gather
+// timeouts are all transient (CC NACKs bump the local clock, redistribution
+// continues in the background), so a retried transaction carries a
+// competitive timestamp and usually succeeds.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "system/cluster.h"
+#include "txn/txn.h"
+
+namespace dvp::system {
+
+struct RetryPolicy {
+  /// Total tries including the first.
+  uint32_t max_attempts = 4;
+  /// First backoff; grows geometrically.
+  SimTime base_backoff_us = 20'000;
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter fraction applied to each backoff (±): two clients that
+  /// keep colliding desynchronise instead of lock-stepping — the livelock
+  /// breaker.
+  double jitter_fraction = 0.5;
+};
+
+/// Final report of a retried submission.
+struct RetryOutcome {
+  txn::TxnResult result;  ///< the last attempt's result
+  uint32_t attempts = 0;
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(Cluster* cluster, RetryPolicy policy, uint64_t seed)
+      : cluster_(cluster), policy_(policy), rng_(seed) {}
+
+  /// Submits `spec` at `at`, retrying on transient aborts (lock conflict,
+  /// Conc1 refusal, gather timeout). Invalid-spec aborts and site failures
+  /// are final. The callback fires exactly once.
+  void Submit(SiteId at, const txn::TxnSpec& spec,
+              std::function<void(const RetryOutcome&)> done);
+
+  uint64_t total_retries() const { return total_retries_; }
+
+ private:
+  static bool Retryable(const txn::TxnResult& r) {
+    switch (r.outcome) {
+      case txn::TxnOutcome::kAbortLockConflict:
+      case txn::TxnOutcome::kAbortCcReject:
+      case txn::TxnOutcome::kAbortTimeout:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void Attempt(SiteId at, txn::TxnSpec spec, uint32_t attempt,
+               SimTime backoff_us,
+               std::function<void(const RetryOutcome&)> done);
+
+  Cluster* cluster_;
+  RetryPolicy policy_;
+  Rng rng_;
+  uint64_t total_retries_ = 0;
+};
+
+}  // namespace dvp::system

@@ -1,0 +1,80 @@
+// Transaction model. A transaction is a set of partitionable operations over
+// data items, submitted at one site and executed entirely there (§5): any
+// value it is short of is *brought to it* by Vm during the redistribution
+// phase; nothing is ever computed remotely on its behalf beyond the implicit
+// Rds transactions that honor its requests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dvpcore/domain.h"
+
+namespace dvp::txn {
+
+/// One operation of a transaction. At most one op per item per transaction.
+struct TxnOp {
+  enum class Kind {
+    kIncrement,  ///< item += amount; always effective (cancellations,
+                 ///< deposits, restocking)
+    kDecrement,  ///< item -= amount if the fragment can cover it, else
+                 ///< redistribute-then-retry (reservations, withdrawals)
+    kReadFull,   ///< read the item's total value N — requires draining
+                 ///< Π⁻¹(d) to this site (§3: N_W = N_Y = N_Z = N_M = 0)
+  };
+  Kind kind = Kind::kIncrement;
+  ItemId item;
+  core::Value amount = 0;  ///< unused for kReadFull
+
+  static TxnOp Increment(ItemId item, core::Value amount) {
+    return {Kind::kIncrement, item, amount};
+  }
+  static TxnOp Decrement(ItemId item, core::Value amount) {
+    return {Kind::kDecrement, item, amount};
+  }
+  static TxnOp ReadFull(ItemId item) { return {Kind::kReadFull, item, 0}; }
+};
+
+/// A transaction specification.
+struct TxnSpec {
+  std::vector<TxnOp> ops;
+  /// Free-form label for traces and per-class metrics (e.g. "reserve").
+  std::string label;
+};
+
+/// Why a transaction ended the way it did.
+enum class TxnOutcome {
+  kCommitted,
+  kAbortLockConflict,  ///< a needed local fragment was locked (§5 pessimism)
+  kAbortCcReject,      ///< Conc1 timestamp rule refused the lock
+  kAbortTimeout,       ///< the timeout counter signalled (§5 step 3)
+  kAbortSiteFailure,   ///< the executing site crashed before commit
+  kAbortInvalid,       ///< malformed specification
+};
+
+std::string_view TxnOutcomeName(TxnOutcome outcome);
+
+/// Completion report delivered to the submitter.
+struct TxnResult {
+  TxnId id;
+  TxnOutcome outcome = TxnOutcome::kAbortInvalid;
+  Status status;
+  /// Values observed by kReadFull ops.
+  std::map<ItemId, core::Value> read_values;
+  /// Virtual time from submission to decision. Bounded for every outcome —
+  /// that is the non-blocking property.
+  SimTime latency_us = 0;
+  /// Remote gather rounds used (0 for purely local execution).
+  uint32_t rounds = 0;
+
+  bool committed() const { return outcome == TxnOutcome::kCommitted; }
+};
+
+using TxnCallback = std::function<void(const TxnResult&)>;
+
+}  // namespace dvp::txn

@@ -1,0 +1,575 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "dvpcore/operators.h"
+
+namespace dvp::txn {
+
+std::string_view TxnOutcomeName(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted:
+      return "committed";
+    case TxnOutcome::kAbortLockConflict:
+      return "abort.lock";
+    case TxnOutcome::kAbortCcReject:
+      return "abort.cc";
+    case TxnOutcome::kAbortTimeout:
+      return "abort.timeout";
+    case TxnOutcome::kAbortSiteFailure:
+      return "abort.site_failure";
+    case TxnOutcome::kAbortInvalid:
+      return "abort.invalid";
+  }
+  return "unknown";
+}
+
+TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+                       wal::StableStorage* storage, core::ValueStore* store,
+                       cc::LockManager* locks, vm::VmManager* vm,
+                       net::Transport* transport, LamportClock* clock,
+                       CounterSet* counters, Rng rng,
+                       TxnManagerOptions options)
+    : self_(self),
+      num_sites_(num_sites),
+      kernel_(kernel),
+      storage_(storage),
+      store_(store),
+      locks_(locks),
+      vm_(vm),
+      transport_(transport),
+      clock_(clock),
+      counters_(counters),
+      rng_(rng),
+      options_(options),
+      policy_(options.scheme) {}
+
+TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
+  Timestamp ts = clock_->Next();
+  TxnId id(ts.packed());
+
+  auto fail_fast = [&](TxnOutcome outcome, std::string why) {
+    counters_->Inc(std::string("txn.") + std::string(TxnOutcomeName(outcome)));
+    TxnResult r;
+    r.id = id;
+    r.outcome = outcome;
+    r.status = Status::Aborted(std::move(why));
+    r.latency_us = 0;
+    if (cb) cb(r);
+    return id;
+  };
+
+  // Validate: at least one op, one op per item, positive amounts.
+  if (spec.ops.empty()) return fail_fast(TxnOutcome::kAbortInvalid, "no ops");
+  std::vector<ItemId> items;
+  for (const TxnOp& op : spec.ops) {
+    if (op.item.value() >= store_->num_items()) {
+      return fail_fast(TxnOutcome::kAbortInvalid, "unknown item");
+    }
+    if (op.kind != TxnOp::Kind::kReadFull && op.amount <= 0) {
+      return fail_fast(TxnOutcome::kAbortInvalid, "non-positive amount");
+    }
+    if (std::find(items.begin(), items.end(), op.item) != items.end()) {
+      return fail_fast(TxnOutcome::kAbortInvalid, "duplicate item in spec");
+    }
+    items.push_back(op.item);
+  }
+
+  // §5 step 1: atomically lock every local fragment in A(t). The pessimism
+  // of the scheme: any conflict aborts immediately rather than waiting.
+  for (ItemId item : items) {
+    if (locks_->IsLocked(item)) {
+      return fail_fast(TxnOutcome::kAbortLockConflict,
+                       "fragment locked: item " + item.ToString());
+    }
+    if (!policy_.MayLock(ts, store_->ts(item))) {
+      return fail_fast(TxnOutcome::kAbortCcReject,
+                       "Conc1 timestamp rule: item " + item.ToString());
+    }
+  }
+  bool locked = locks_->TryLockAll(items, id);
+  assert(locked);
+  (void)locked;
+  if (policy_.StampOnLock()) {
+    for (ItemId item : items) store_->SetTs(item, ts);
+  }
+
+  auto t = std::make_unique<PendingTxn>();
+  t->id = id;
+  t->ts = ts;
+  t->spec = spec;
+  t->items = items;
+  t->cb = std::move(cb);
+  t->start_time = kernel_->Now();
+
+  // §5 step 2: determine which items the local value is inadequate for.
+  std::vector<proto::RequestPart> parts;
+  for (const TxnOp& op : spec.ops) {
+    const core::Domain& domain = store_->catalog().domain(op.item);
+    switch (op.kind) {
+      case TxnOp::Kind::kIncrement:
+        break;  // always effective locally
+      case TxnOp::Kind::kDecrement: {
+        core::BoundedDecrementOp dec(op.amount);
+        core::ApplyOutcome out = dec.Apply(domain, store_->value(op.item));
+        if (out.insufficient()) {
+          t->shortfall[op.item] = out.shortfall;
+          parts.push_back({op.item, out.shortfall, false});
+        }
+        break;
+      }
+      case TxnOp::Kind::kReadFull: {
+        ReadState rs;
+        if (num_sites_ <= 1) {
+          rs.done = true;  // nothing remote to drain
+        } else {
+          parts.push_back({op.item, 0, true});
+        }
+        t->reads.emplace(op.item, rs);
+        break;
+      }
+    }
+  }
+
+  PendingTxn& ref = *t;
+  pending_.emplace(id, std::move(t));
+
+  if (parts.empty() && ref.shortfall.empty()) {
+    // Write-only / locally satisfiable fast path: no redistribution phase.
+    bool all_reads_done = true;
+    for (const auto& [item, rs] : ref.reads) {
+      (void)item;
+      if (!rs.done) all_reads_done = false;
+    }
+    if (all_reads_done) {
+      ScheduleCommit(ref);
+      return id;
+    }
+  }
+
+  // §5 steps 2–3: dispatch requests and start the timeout counter.
+  SendRequests(ref, parts, /*round=*/1);
+  ref.rounds = 1;
+  ArmReadRetry(ref);
+  TxnId timeout_id = id;
+  ref.timeout = kernel_->Schedule(options_.timeout_us, [this, timeout_id]() {
+    auto it = pending_.find(timeout_id);
+    if (it == pending_.end()) return;
+    Abort(*it->second, TxnOutcome::kAbortTimeout, "redistribution timeout");
+  });
+  return id;
+}
+
+std::vector<SiteId> TxnManager::PickTargets() {
+  std::vector<SiteId> all;
+  for (uint32_t s = 0; s < num_sites_; ++s) {
+    if (s != self_.value()) all.push_back(SiteId(s));
+  }
+  uint32_t k = options_.request_fanout;
+  if (k == 0 || k >= all.size()) {
+    if (options_.randomize_targets && !all.empty()) {
+      // Fisher-Yates with our deterministic stream.
+      for (size_t i = all.size() - 1; i > 0; --i) {
+        std::swap(all[i], all[rng_.NextBounded(i + 1)]);
+      }
+    }
+    return all;
+  }
+  // Choose k targets (random when requested, else the first k by id).
+  if (options_.randomize_targets) {
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + rng_.NextBounded(all.size() - i);
+      std::swap(all[i], all[j]);
+    }
+  }
+  all.resize(k);
+  return all;
+}
+
+void TxnManager::SendRequests(PendingTxn& t,
+                              const std::vector<proto::RequestPart>& parts,
+                              uint32_t round) {
+  if (parts.empty()) return;
+  auto msg = std::make_shared<proto::RequestMsg>();
+  msg->txn = t.id;
+  msg->ts_packed = t.ts.packed();
+  msg->origin = self_;
+  msg->round = round;
+  msg->parts = parts;
+  counters_->Inc("req.sent", parts.size());
+
+  if (policy_.BroadcastRequests()) {
+    // Conc2: all of a transaction's requests go out as one atomic broadcast.
+    counters_->Inc("req.msgs", num_sites_ - 1);
+    transport_->Broadcast(std::move(msg));
+    return;
+  }
+  std::vector<SiteId> targets = PickTargets();
+  counters_->Inc("req.msgs", targets.size());
+  if (options_.divide_shortfall && !targets.empty()) {
+    auto divided = std::make_shared<proto::RequestMsg>(*msg);
+    for (auto& part : divided->parts) {
+      if (!part.read_all && part.amount > 0) {
+        part.amount = (part.amount + static_cast<core::Value>(targets.size()) -
+                       1) /
+                      static_cast<core::Value>(targets.size());
+      }
+    }
+    msg = divided;
+  }
+  for (SiteId dst : targets) transport_->SendDatagram(dst, msg);
+}
+
+void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
+  (void)from;
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  Timestamp req_ts = Timestamp::FromPacked(msg.ts_packed);
+
+  for (const proto::RequestPart& part : msg.parts) {
+    counters_->Inc("req.received");
+    if (part.item.value() >= store_->num_items()) continue;
+
+    // A locked fragment means some transaction (or in-progress Rds action)
+    // owns it; the request is simply not honored (§5).
+    if (locks_->IsLocked(part.item)) {
+      counters_->Inc("req.ignored.locked");
+      continue;
+    }
+    // Conc1 gate: TS(t) must dominate TS(d_j). Equality is the same
+    // transaction returning for another gather round (timestamps are
+    // unique), which is always safe to honor. The refusal is answered with a
+    // clock-carrying NACK so a lagging origin catches up and can retry.
+    if (policy_.scheme() == cc::CcScheme::kConc1 &&
+        req_ts < store_->ts(part.item)) {
+      counters_->Inc("req.ignored.cc");
+      auto nack = std::make_shared<proto::CcNackMsg>();
+      nack->from = self_;
+      // Carry whichever is larger: our clock or the stamp that beat the
+      // request -- the origin must exceed the *stamp* on its retry.
+      nack->ts_packed =
+          std::max(clock_->Peek(), store_->ts(part.item)).packed();
+      transport_->SendDatagram(msg.origin, std::move(nack));
+      continue;
+    }
+
+    const core::Fragment& frag = store_->fragment(part.item);
+    const core::Domain& domain = store_->catalog().domain(part.item);
+
+    if (part.read_all) {
+      // §5: a read may be honored only when no Vm for the item is
+      // outstanding here, so the reader provably drains the full multiset.
+      if (vm_->HasOutstandingFor(part.item)) {
+        counters_->Inc("req.ignored.outstanding");
+        continue;
+      }
+      if (policy_.StampOnLock()) store_->SetTs(part.item, req_ts);
+      vm_->CreateVm(msg.origin, part.item, frag.value, msg.txn,
+                    /*is_read_reply=*/true, msg.round);
+      counters_->Inc("req.honored.read");
+    } else {
+      core::Value ship = std::min(part.amount, domain.MaxShippable(frag.value));
+      if (ship <= 0) {
+        counters_->Inc("req.ignored.empty");
+        continue;
+      }
+      if (policy_.StampOnLock()) store_->SetTs(part.item, req_ts);
+      vm_->CreateVm(msg.origin, part.item, ship, msg.txn);
+      counters_->Inc("req.honored");
+    }
+  }
+}
+
+bool TxnManager::RouteVmTransfer(SiteId from, const proto::VmTransferMsg& msg) {
+  (void)from;
+  TxnId owner = locks_->OwnerOf(msg.item);
+  if (!owner.valid()) return false;
+  auto it = pending_.find(owner);
+  if (it == pending_.end()) return false;  // not a transaction of ours
+  PendingTxn& t = *it->second;
+
+  // The lock-holding transaction accepts the Vm itself (§5) — but only a Vm
+  // that answers *its own* requests: those grants were gated by the Conc1
+  // timestamp rule at the honoring site, so absorbing them preserves
+  // timestamp-order serializability. Unrelated transfers stay deferred
+  // ("it will eventually be sent again anyway") and are merged by the
+  // unlocked Rds path after this transaction ends.
+  if (msg.for_txn != t.id) return false;
+  vm_->AcceptForTxn(msg);
+  if (msg.is_read_reply && msg.for_txn == t.id) {
+    HandleReadReply(t, msg);
+    // HandleReadReply may have committed/aborted; don't touch `t` after
+    // Reevaluate below without re-checking.
+  }
+  auto again = pending_.find(owner);
+  if (again != pending_.end()) Reevaluate(*again->second);
+  return true;
+}
+
+void TxnManager::HandleReadReply(PendingTxn& t,
+                                 const proto::VmTransferMsg& msg) {
+  auto it = t.reads.find(msg.item);
+  if (it == t.reads.end()) return;
+  ReadState& rs = it->second;
+  if (rs.done || msg.round != rs.round) return;
+
+  rs.counters[msg.src] = msg.accept_count;
+  if (msg.amount > 0) rs.this_round_nonzero = true;
+  if (rs.counters.size() < num_sites_ - 1) return;
+
+  // Round complete. Terminate only after two consecutive all-zero rounds
+  // with unchanged acceptance counters: no fragment held value at any reply
+  // point, no site had outstanding Vm (they would have refused), and no site
+  // accepted anything in between — hence N_M = 0 and the local fragment now
+  // holds Π⁻¹(d) in its entirety.
+  bool all_zero = !rs.this_round_nonzero;
+  if (all_zero && rs.prev_round_all_zero && rs.counters == rs.prev_counters) {
+    rs.done = true;
+    return;
+  }
+  rs.prev_counters = std::move(rs.counters);
+  rs.prev_round_all_zero = all_zero;
+  rs.counters.clear();
+  rs.this_round_nonzero = false;
+  ++rs.round;
+  ++t.rounds;
+  SendReadRound(t, msg.item, /*only_missing=*/false);
+}
+
+void TxnManager::SendReadRound(PendingTxn& t, ItemId item,
+                               bool only_missing) {
+  const ReadState& rs = t.reads.at(item);
+  auto msg = std::make_shared<proto::RequestMsg>();
+  msg->txn = t.id;
+  msg->ts_packed = t.ts.packed();
+  msg->origin = self_;
+  msg->round = rs.round;
+  msg->parts = {{item, 0, true}};
+  counters_->Inc("req.sent");
+  if (policy_.BroadcastRequests()) {
+    counters_->Inc("req.msgs", num_sites_ - 1);
+    transport_->Broadcast(std::move(msg));
+    return;
+  }
+  for (uint32_t s = 0; s < num_sites_; ++s) {
+    if (s == self_.value()) continue;
+    if (only_missing && rs.counters.contains(SiteId(s))) continue;
+    counters_->Inc("req.msgs");
+    transport_->SendDatagram(SiteId(s), msg);
+  }
+}
+
+void TxnManager::ArmReadRetry(PendingTxn& t) {
+  bool any_open = false;
+  for (const auto& [item, rs] : t.reads) {
+    (void)item;
+    if (!rs.done) any_open = true;
+  }
+  if (!any_open) return;
+  TxnId id = t.id;
+  t.read_retry = kernel_->Schedule(options_.read_retry_us, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingTxn& t = *it->second;
+    for (auto& [item, rs] : t.reads) {
+      if (!rs.done) SendReadRound(t, item, /*only_missing=*/true);
+    }
+    ArmReadRetry(t);
+  });
+}
+
+void TxnManager::Reevaluate(PendingTxn& t) {
+  // Re-check decrement shortfalls against the (possibly grown) fragments.
+  for (auto it = t.shortfall.begin(); it != t.shortfall.end();) {
+    ItemId item = it->first;
+    const TxnOp* op = nullptr;
+    for (const TxnOp& candidate : t.spec.ops) {
+      if (candidate.item == item) op = &candidate;
+    }
+    assert(op && op->kind == TxnOp::Kind::kDecrement);
+    const core::Domain& domain = store_->catalog().domain(item);
+    core::BoundedDecrementOp dec(op->amount);
+    core::ApplyOutcome out = dec.Apply(domain, store_->value(item));
+    if (out.applied()) {
+      it = t.shortfall.erase(it);
+    } else {
+      it->second = out.shortfall;
+      ++it;
+    }
+  }
+  if (!t.shortfall.empty()) return;
+  for (const auto& [item, rs] : t.reads) {
+    (void)item;
+    if (!rs.done) return;
+  }
+  ScheduleCommit(t);
+}
+
+void TxnManager::ScheduleCommit(PendingTxn& t) {
+  if (t.commit_scheduled) return;
+  t.commit_scheduled = true;
+  // The gather succeeded: the timeout counter is disarmed and the remaining
+  // work is purely local (§5 step 4) — by construction it cannot block.
+  t.timeout.Cancel();
+  t.read_retry.Cancel();
+  if (options_.local_compute_us <= 0) {
+    Commit(t);
+    return;
+  }
+  TxnId id = t.id;
+  kernel_->Schedule(options_.local_compute_us, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // site crashed meanwhile
+    Commit(*it->second);
+  });
+}
+
+void TxnManager::Commit(PendingTxn& t) {
+  // §5 steps 4–5: compute the updates with partitionable operators and force
+  // the commit record. That force *is* the commit point; there is no
+  // prepared state and no possibility of blocking.
+  wal::TxnCommitRec rec;
+  rec.txn = t.id;
+  rec.ts_packed = t.ts.packed();
+
+  TxnResult result;
+  result.id = t.id;
+  result.outcome = TxnOutcome::kCommitted;
+  result.rounds = t.rounds;
+
+  for (const TxnOp& op : t.spec.ops) {
+    const core::Fragment& frag = store_->fragment(op.item);
+    switch (op.kind) {
+      case TxnOp::Kind::kIncrement:
+        rec.writes.push_back(wal::FragmentWrite{
+            op.item, frag.value + op.amount, op.amount, t.ts.packed()});
+        break;
+      case TxnOp::Kind::kDecrement:
+        assert(store_->catalog()
+                   .domain(op.item)
+                   .ValidFragment(frag.value - op.amount));
+        rec.writes.push_back(wal::FragmentWrite{
+            op.item, frag.value - op.amount, -op.amount, t.ts.packed()});
+        break;
+      case TxnOp::Kind::kReadFull:
+        result.read_values[op.item] = frag.value;
+        break;
+    }
+  }
+
+  storage_->Append(wal::LogRecord(rec));
+  t.committed = true;
+
+  // §5 step 6: apply to the local database and record that fact.
+  for (const wal::FragmentWrite& w : rec.writes) {
+    store_->SetValue(w.item, w.post_value);
+    store_->SetTs(w.item, Timestamp::FromPacked(w.post_ts_packed));
+  }
+  storage_->Append(wal::LogRecord(wal::TxnAppliedRec{t.id}));
+
+  // §5 step 7.
+  locks_->ReleaseAll(t.id);
+  t.timeout.Cancel();
+  t.read_retry.Cancel();
+
+  counters_->Inc("txn.committed");
+  result.status = Status::OK();
+  result.latency_us = kernel_->Now() - t.start_time;
+  Finish(t, std::move(result));
+}
+
+void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
+                       const std::string& why) {
+  // Aborting is purely local: locks drop, nothing to undo — everything that
+  // happened so far was value-preserving redistribution (§5: "there is no
+  // concept of rollbacks").
+  locks_->ReleaseAll(t.id);
+  t.timeout.Cancel();
+  t.read_retry.Cancel();
+  counters_->Inc(std::string("txn.") + std::string(TxnOutcomeName(outcome)));
+
+  TxnResult result;
+  result.id = t.id;
+  result.outcome = outcome;
+  result.status = outcome == TxnOutcome::kAbortTimeout
+                      ? Status::Timeout(why)
+                      : Status::Aborted(why);
+  result.latency_us = kernel_->Now() - t.start_time;
+  result.rounds = t.rounds;
+  Finish(t, std::move(result));
+}
+
+void TxnManager::Finish(PendingTxn& t, TxnResult result) {
+  auto node = pending_.extract(t.id);
+  assert(!node.empty());
+  TxnCallback cb = std::move(node.mapped()->cb);
+  if (cb) cb(result);
+  // node (and the PendingTxn) dies here; `t` must not be used afterwards.
+}
+
+void TxnManager::Prefetch(ItemId item, core::Value amount) {
+  if (amount <= 0 || item.value() >= store_->num_items()) return;
+  auto msg = std::make_shared<proto::RequestMsg>();
+  Timestamp ts = clock_->Next();
+  msg->txn = TxnId(ts.packed());
+  msg->ts_packed = ts.packed();
+  msg->origin = self_;
+  msg->round = 1;
+  msg->parts = {{item, amount, false}};
+  counters_->Inc("req.prefetch");
+  if (policy_.BroadcastRequests()) {
+    transport_->Broadcast(std::move(msg));
+  } else {
+    for (SiteId dst : PickTargets()) transport_->SendDatagram(dst, msg);
+  }
+}
+
+Status TxnManager::SendValue(SiteId dst, ItemId item, core::Value amount) {
+  if (amount <= 0) return Status::InvalidArgument("amount must be positive");
+  if (item.value() >= store_->num_items()) {
+    return Status::NotFound("unknown item");
+  }
+  if (locks_->IsLocked(item)) {
+    return Status::Conflict("item locked; redistribution refused");
+  }
+  const core::Domain& domain = store_->catalog().domain(item);
+  if (amount > domain.MaxShippable(store_->value(item))) {
+    return Status::FailedPrecondition("fragment cannot cover the amount");
+  }
+  vm_->CreateVm(dst, item, amount, TxnId::Invalid());
+  counters_->Inc("rds.send_value");
+  return Status::OK();
+}
+
+void TxnManager::CrashAbortAll() {
+  // Deliver a final verdict for every in-flight transaction. A transaction
+  // whose commit record was already forced *did* commit — the crash merely
+  // raced the reply; everything else dies with the volatile state.
+  std::vector<std::unique_ptr<PendingTxn>> doomed;
+  doomed.reserve(pending_.size());
+  for (auto& [id, t] : pending_) {
+    (void)id;
+    doomed.push_back(std::move(t));
+  }
+  pending_.clear();
+  for (auto& t : doomed) {
+    t->timeout.Cancel();
+    t->read_retry.Cancel();
+    TxnResult result;
+    result.id = t->id;
+    if (t->committed) {
+      result.outcome = TxnOutcome::kCommitted;
+      result.status = Status::OK();
+      counters_->Inc("txn.committed");
+    } else {
+      result.outcome = TxnOutcome::kAbortSiteFailure;
+      result.status = Status::Unavailable("site crashed");
+      counters_->Inc("txn.abort.site_failure");
+    }
+    result.latency_us = kernel_->Now() - t->start_time;
+    if (t->cb) t->cb(result);
+  }
+}
+
+}  // namespace dvp::txn

@@ -1,0 +1,154 @@
+// The transaction manager for one site: implements the seven-step protocol
+// of §5 (lock → request → await/timeout → compute → force commit record →
+// apply → unlock), the write-only fast path, the remote request handler (the
+// implicit Rds transactions of §6), and the iterative full-read drain.
+//
+// Non-blocking by construction: every submitted transaction reaches a
+// commit/abort decision within max(local work, timeout) — no step ever waits
+// on a lock, a failure detector, or another site's decision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/policy.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "dvpcore/value_store.h"
+#include "net/transport.h"
+#include "proto/wire.h"
+#include "sim/kernel.h"
+#include "txn/txn.h"
+#include "vm/vm_manager.h"
+#include "wal/stable_storage.h"
+
+namespace dvp::txn {
+
+struct TxnManagerOptions {
+  /// §5 step 3: redistribution replies must arrive within this window or the
+  /// transaction aborts.
+  SimTime timeout_us = 300'000;
+  /// Full-read gather rounds re-send their (non-critical, datagram) requests
+  /// at this interval until every site has answered the round — a remote
+  /// site silently ignores a read request while it still has outstanding Vm
+  /// for the item, so the reader must poll (§5's optional request retry).
+  SimTime read_retry_us = 40'000;
+  cc::CcScheme scheme = cc::CcScheme::kConc1;
+  /// How many remote sites receive a shortfall request; 0 = all other sites.
+  uint32_t request_fanout = 0;
+  /// When true, the shortfall is divided across the fan-out targets instead
+  /// of asking each for the full amount (less over-shipping, more aborts
+  /// when one target cannot contribute its share).
+  bool divide_shortfall = false;
+  /// Randomises fan-out target choice (livelock mitigation knob, §8).
+  bool randomize_targets = false;
+  /// Simulated local computation between "all values gathered" and the
+  /// commit-record force (§5 step 4→5). Locks stay held, so this is the
+  /// window in which contention is visible (0 = instantaneous commit).
+  SimTime local_compute_us = 0;
+  /// Conc1 acceptance-stamp policy (see cc::AcceptStampMode); ignored under
+  /// Conc2.
+  cc::AcceptStampMode accept_stamp = cc::AcceptStampMode::kCreationTs;
+};
+
+class TxnManager {
+ public:
+  TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+             wal::StableStorage* storage, core::ValueStore* store,
+             cc::LockManager* locks, vm::VmManager* vm,
+             net::Transport* transport, LamportClock* clock,
+             CounterSet* counters, Rng rng, TxnManagerOptions options);
+
+  /// Submits a transaction at this site. The callback always fires exactly
+  /// once (commit, abort, or site failure) — see CrashAbortAll.
+  TxnId Begin(const TxnSpec& spec, TxnCallback cb);
+
+  /// Handles a request from another site's transaction (or this site's —
+  /// i = j is legal in the paper and arises in single-site clusters).
+  void OnRequest(SiteId from, const proto::RequestMsg& msg);
+
+  /// Routes an incoming Vm transfer. Returns true if a pending transaction
+  /// holding the item's lock absorbed it; otherwise the caller should fall
+  /// back to the unlocked acceptance path.
+  bool RouteVmTransfer(SiteId from, const proto::VmTransferMsg& msg);
+
+  /// Redistribution-only transaction (§5): fire-and-forget prefetch of
+  /// `amount` of `item` from other sites. No locks held, no reply awaited.
+  void Prefetch(ItemId item, core::Value amount);
+
+  /// Rds push: ship `amount` of `item` to `dst` right now. Fails if the item
+  /// is locked or the fragment cannot cover the amount.
+  Status SendValue(SiteId dst, ItemId item, core::Value amount);
+
+  /// Crash path: every pending transaction's callback fires with
+  /// kAbortSiteFailure — unless its commit record already hit the log, in
+  /// which case it reports committed (the commit point had passed).
+  void CrashAbortAll();
+
+  size_t pending_count() const { return pending_.size(); }
+  const TxnManagerOptions& options() const { return options_; }
+
+ private:
+  struct ReadState {
+    uint32_t round = 1;
+    /// Replies this round: src → accept_count at reply time.
+    std::map<SiteId, uint64_t> counters;
+    std::map<SiteId, uint64_t> prev_counters;
+    bool this_round_nonzero = false;
+    bool prev_round_all_zero = false;
+    bool done = false;
+  };
+
+  struct PendingTxn {
+    TxnId id;
+    Timestamp ts;
+    TxnSpec spec;
+    std::vector<ItemId> items;
+    /// Remaining shortfall per decrement item still short.
+    std::map<ItemId, core::Value> shortfall;
+    std::map<ItemId, ReadState> reads;
+    sim::EventHandle timeout;
+    sim::EventHandle read_retry;
+    TxnCallback cb;
+    SimTime start_time = 0;
+    uint32_t rounds = 0;
+    bool committed = false;
+    bool commit_scheduled = false;
+  };
+
+  void SendRequests(PendingTxn& t,
+                    const std::vector<proto::RequestPart>& parts,
+                    uint32_t round);
+  void Reevaluate(PendingTxn& t);
+  void ScheduleCommit(PendingTxn& t);
+  void Commit(PendingTxn& t);
+  void Abort(PendingTxn& t, TxnOutcome outcome, const std::string& why);
+  void Finish(PendingTxn& t, TxnResult result);
+  void HandleReadReply(PendingTxn& t, const proto::VmTransferMsg& msg);
+  void SendReadRound(PendingTxn& t, ItemId item, bool only_missing);
+  void ArmReadRetry(PendingTxn& t);
+  std::vector<SiteId> PickTargets();
+
+  SiteId self_;
+  uint32_t num_sites_;
+  sim::Kernel* kernel_;
+  wal::StableStorage* storage_;
+  core::ValueStore* store_;
+  cc::LockManager* locks_;
+  vm::VmManager* vm_;
+  net::Transport* transport_;
+  LamportClock* clock_;
+  CounterSet* counters_;
+  Rng rng_;
+  TxnManagerOptions options_;
+  cc::CcPolicy policy_;
+
+  std::map<TxnId, std::unique_ptr<PendingTxn>> pending_;
+};
+
+}  // namespace dvp::txn

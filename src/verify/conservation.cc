@@ -1,0 +1,71 @@
+#include "verify/conservation.h"
+
+#include <map>
+#include <set>
+
+#include "dvpcore/value_store.h"
+#include "recovery/recovery.h"
+
+namespace dvp::verify {
+
+ConservationBreakdown AuditItem(
+    std::span<const wal::StableStorage* const> storages,
+    const core::Catalog& catalog, ItemId item) {
+  ConservationBreakdown out;
+
+  struct LiveVm {
+    core::Value amount = 0;
+    ItemId item;
+  };
+  std::map<VmId, LiveVm> created;
+  std::set<VmId> accepted;
+
+  for (const wal::StableStorage* storage : storages) {
+    // Durable fragment value = what recovery would rebuild.
+    core::ValueStore scratch(&catalog);
+    recovery::RecoveryReport report;
+    Status s = recovery::RebuildStore(*storage, &scratch, &report);
+    if (!s.ok()) continue;  // corrupted log: fragment contributes nothing
+    out.site_total += scratch.value(item);
+
+    Status scan = storage->Scan(0, [&](Lsn, const wal::LogRecord& rec) {
+      if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+        created[c->vm] = LiveVm{c->amount, c->item};
+      } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+        accepted.insert(a->vm);
+      } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
+        for (const auto& w : t->writes) {
+          if (w.item == item) out.committed_delta += w.delta;
+        }
+      }
+    });
+    (void)scan;
+  }
+
+  for (const auto& [vm, live] : created) {
+    if (live.item != item) continue;
+    if (accepted.contains(vm)) continue;
+    out.in_flight += live.amount;
+    ++out.live_vms;
+  }
+  return out;
+}
+
+Status AuditAll(std::span<const wal::StableStorage* const> storages,
+                const core::Catalog& catalog) {
+  for (ItemId item : catalog.AllItems()) {
+    ConservationBreakdown b = AuditItem(storages, catalog, item);
+    core::Value expect = catalog.info(item).initial_total + b.committed_delta;
+    if (b.total() != expect) {
+      return Status::Internal(
+          "conservation violated for item " + catalog.info(item).name +
+          ": fragments=" + std::to_string(b.site_total) +
+          " in_flight=" + std::to_string(b.in_flight) +
+          " committed_delta=" + std::to_string(b.committed_delta) +
+          " expected=" + std::to_string(expect));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dvp::verify

@@ -1,0 +1,42 @@
+// The conservation invariant (§3): at every instant,
+//     N = Σ_i N_i + N_M
+// — the item's value equals the sum of all site fragments plus the value of
+// all live Vm (created but not yet accepted anywhere). This auditor computes
+// both terms purely from stable storage, so it is meaningful even mid-crash:
+// a site's fragment is what its recovery would reconstruct, and a Vm is live
+// exactly when its creation record exists and no acceptance record does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dvpcore/catalog.h"
+#include "wal/stable_storage.h"
+
+namespace dvp::verify {
+
+struct ConservationBreakdown {
+  core::Value site_total = 0;  ///< Σ_i N_i (durable view)
+  core::Value in_flight = 0;   ///< N_M: value of live Vm
+  /// Net change to the item's value by committed transactions (redistribution
+  /// contributes nothing): the invariant is
+  ///     site_total + in_flight == initial_total + committed_delta.
+  core::Value committed_delta = 0;
+  uint64_t live_vms = 0;
+
+  core::Value total() const { return site_total + in_flight; }
+};
+
+/// Computes the breakdown for one item across all sites.
+ConservationBreakdown AuditItem(
+    std::span<const wal::StableStorage* const> storages,
+    const core::Catalog& catalog, ItemId item);
+
+/// Checks every catalog item against its initial total; returns the first
+/// violation as an Internal status.
+Status AuditAll(std::span<const wal::StableStorage* const> storages,
+                const core::Catalog& catalog);
+
+}  // namespace dvp::verify

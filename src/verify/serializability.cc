@@ -1,0 +1,156 @@
+#include "verify/serializability.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dvpcore/operators.h"
+
+namespace dvp::verify {
+
+void HistoryChecker::RecordCommit(TxnId id, const txn::TxnSpec& spec,
+                                  const txn::TxnResult& result) {
+  RecordCommitAt(0, id, spec, result);
+}
+
+void HistoryChecker::RecordCommitAt(SimTime now_us, TxnId id,
+                                    const txn::TxnSpec& spec,
+                                    const txn::TxnResult& result) {
+  CommittedTxn c;
+  c.id = id;
+  c.spec = spec;
+  c.read_values = result.read_values;
+  c.commit_seq = next_seq_++;
+  c.commit_us = now_us;
+  c.start_us = now_us - result.latency_us;
+  history_.push_back(std::move(c));
+}
+
+namespace {
+
+// Can `target` be formed as a sum of a subset of `deltas`? Sizes are small
+// (a read's overlap window); breadth-first over achievable sums.
+bool SubsetSumReachable(const std::vector<core::Value>& deltas,
+                        core::Value target) {
+  std::set<core::Value> reachable{0};
+  for (core::Value d : deltas) {
+    if (reachable.contains(target)) return true;
+    std::set<core::Value> next = reachable;
+    for (core::Value v : reachable) next.insert(v + d);
+    reachable = std::move(next);
+    if (reachable.size() > 200'000) return true;  // give up: assume ok
+  }
+  return reachable.contains(target);
+}
+
+}  // namespace
+
+Status HistoryChecker::Check(
+    Order order, const std::map<ItemId, core::Value>* final_totals) const {
+  std::vector<const CommittedTxn*> serial;
+  serial.reserve(history_.size());
+  for (const auto& c : history_) serial.push_back(&c);
+  if (order == Order::kTimestamp) {
+    std::sort(serial.begin(), serial.end(),
+              [](const CommittedTxn* a, const CommittedTxn* b) {
+                return a->id.value() < b->id.value();
+              });
+  } else {
+    std::sort(serial.begin(), serial.end(),
+              [](const CommittedTxn* a, const CommittedTxn* b) {
+                return a->commit_seq < b->commit_seq;
+              });
+  }
+
+  // Whole-value serial replay.
+  std::map<ItemId, core::Value> totals;
+  for (ItemId item : catalog_->AllItems()) {
+    totals[item] = catalog_->info(item).initial_total;
+  }
+
+  for (const CommittedTxn* c : serial) {
+    auto describe = [&](const txn::TxnOp& op) {
+      return "txn ts=" + Timestamp::FromPacked(c->id.value()).ToString() +
+             " op=" + std::to_string(static_cast<int>(op.kind)) + " item=" +
+             catalog_->info(op.item).name;
+    };
+    for (const txn::TxnOp& op : c->spec.ops) {
+      core::Value& total = totals[op.item];
+      switch (op.kind) {
+        case txn::TxnOp::Kind::kIncrement:
+          total += op.amount;
+          break;
+        case txn::TxnOp::Kind::kDecrement:
+          if (total < op.amount) {
+            return Status::Internal(
+                "serial replay: committed decrement not applicable; " +
+                describe(op) + " total=" + std::to_string(total) +
+                " amount=" + std::to_string(op.amount));
+          }
+          total -= op.amount;
+          break;
+        case txn::TxnOp::Kind::kReadFull: {
+          auto it = c->read_values.find(op.item);
+          if (it == c->read_values.end()) {
+            return Status::Internal("serial replay: read value missing; " +
+                                    describe(op));
+          }
+          if (order == Order::kTimestamp) {
+            if (it->second != total) {
+              return Status::Internal(
+                  "serial replay: read observed " +
+                  std::to_string(it->second) + " but serial total is " +
+                  std::to_string(total) + "; " + describe(op));
+            }
+            break;
+          }
+          // Windowed view check (kCommitOrder): the read serialised at its
+          // drain points, somewhere inside [start, commit]. Updates that
+          // committed before it started were necessarily drained; updates
+          // that committed during the window may or may not have been.
+          core::Value must = catalog_->info(op.item).initial_total;
+          std::vector<core::Value> optional;
+          for (const auto& other : history_) {
+            if (&other == c) continue;
+            for (const txn::TxnOp& oop : other.spec.ops) {
+              if (oop.item != op.item ||
+                  oop.kind == txn::TxnOp::Kind::kReadFull) {
+                continue;
+              }
+              core::Value delta = oop.kind == txn::TxnOp::Kind::kIncrement
+                                      ? oop.amount
+                                      : -oop.amount;
+              if (other.commit_us <= c->start_us) {
+                must += delta;
+              } else if (other.commit_us <= c->commit_us) {
+                optional.push_back(delta);
+              }
+            }
+          }
+          if (!SubsetSumReachable(optional, it->second - must)) {
+            return Status::Internal(
+                "windowed read check: observed " + std::to_string(it->second) +
+                " unreachable from must=" + std::to_string(must) + " with " +
+                std::to_string(optional.size()) + " window deltas; " +
+                describe(op));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  if (final_totals != nullptr) {
+    for (const auto& [item, expect] : *final_totals) {
+      if (totals[item] != expect) {
+        return Status::Internal(
+            "serial replay final total mismatch for " +
+            catalog_->info(item).name + ": serial=" +
+            std::to_string(totals[item]) + " actual=" +
+            std::to_string(expect));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dvp::verify

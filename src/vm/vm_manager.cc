@@ -1,0 +1,203 @@
+#include "vm/vm_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace dvp::vm {
+
+VmManager::VmManager(SiteId self, wal::StableStorage* storage,
+                     core::ValueStore* store, cc::LockManager* locks,
+                     net::Transport* transport, LamportClock* clock,
+                     CounterSet* counters, bool stamp_on_accept,
+                     cc::AcceptStampMode stamp_mode)
+    : self_(self),
+      storage_(storage),
+      store_(store),
+      locks_(locks),
+      transport_(transport),
+      clock_(clock),
+      counters_(counters),
+      stamp_on_accept_(stamp_on_accept),
+      stamp_mode_(stamp_mode) {}
+
+VmId VmManager::NextVmId() { return MakeVmId(self_, next_vm_counter_++); }
+
+VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
+                         TxnId for_txn, bool is_read_reply, uint32_t round) {
+  const core::Fragment& frag = store_->fragment(item);
+  assert(amount >= 0 && "Vm amounts are non-negative shares of the value");
+  assert(store_->catalog().domain(item).ValidFragment(frag.value - amount));
+
+  VmId id = NextVmId();
+
+  // §4.2: one forced record carrying both the database action and the
+  // message sequence. The Vm exists from this instant.
+  wal::VmCreateRec rec;
+  rec.vm = id;
+  rec.dst = dst;
+  rec.item = item;
+  rec.amount = amount;
+  rec.for_txn = for_txn;
+  rec.write = wal::FragmentWrite{item, frag.value - amount, -amount,
+                                 frag.ts.packed()};
+  storage_->Append(wal::LogRecord(rec));
+
+  // Database action: debit the fragment.
+  store_->SetValue(item, frag.value - amount);
+
+  OutVm out{dst, item, amount, for_txn, is_read_reply, round};
+  outbox_.emplace(id, out);
+  counters_->Inc("vm.created");
+
+  SendTransfer(id, out);
+  return id;
+}
+
+void VmManager::SendTransfer(VmId id, const OutVm& out) {
+  auto msg = std::make_shared<proto::VmTransferMsg>();
+  msg->vm = id;
+  msg->src = self_;
+  msg->item = out.item;
+  msg->amount = out.amount;
+  msg->for_txn = out.for_txn;
+  msg->ts_packed = clock_->Next().packed();
+  msg->is_read_reply = out.is_read_reply;
+  msg->round = out.round;
+  msg->accept_count = accepted_.size();
+  transport_->SendReliable(out.dst, id.value(), std::move(msg));
+}
+
+void VmManager::SendAck(VmId vm, SiteId to) {
+  auto ack = std::make_shared<proto::VmAckMsg>();
+  ack->vm = vm;
+  ack->from = self_;
+  ack->ts_packed = clock_->Next().packed();
+  transport_->SendDatagram(to, std::move(ack));
+}
+
+core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
+                                bool stamp_fresh) {
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  if (accepted_.contains(msg.vm)) {
+    counters_->Inc("vm.duplicate");
+    SendAck(msg.vm, msg.src);
+    return 0;
+  }
+  const core::Fragment& frag = store_->fragment(msg.item);
+
+  // An unlocked acceptance is an implicit Rds transaction; under Conc1 it
+  // stamps the fragment so that no transaction older than the value's causal
+  // past can lock the merged fragment. The creation timestamp of the Vm
+  // bounds that past exactly (the creating site observed the requester's
+  // timestamp before sending), so max(old stamp, creation ts) is the least
+  // conservative sound stamp -- fresher local timestamps would refuse more
+  // requesters than necessary.
+  Timestamp post_ts = frag.ts;
+  if (stamp_fresh && stamp_on_accept_) {
+    post_ts = stamp_mode_ == cc::AcceptStampMode::kFreshLocal
+                  ? clock_->Next()
+                  : std::max(frag.ts, Timestamp::FromPacked(msg.ts_packed));
+  }
+
+  // §4.2: acceptance is the forcing of the [database-actions] record.
+  wal::VmAcceptRec rec;
+  rec.vm = msg.vm;
+  rec.src = msg.src;
+  rec.item = msg.item;
+  rec.amount = msg.amount;
+  rec.for_txn = msg.for_txn;
+  rec.write = wal::FragmentWrite{msg.item, frag.value + msg.amount,
+                                 msg.amount, post_ts.packed()};
+  storage_->Append(wal::LogRecord(rec));
+
+  store_->SetValue(msg.item, frag.value + msg.amount);
+  store_->SetTs(msg.item, post_ts);
+  accepted_.insert(msg.vm);
+  counters_->Inc("vm.accepted");
+
+  SendAck(msg.vm, msg.src);
+  return msg.amount;
+}
+
+bool VmManager::AcceptOrIgnore(const proto::VmTransferMsg& msg) {
+  if (accepted_.contains(msg.vm)) {
+    ReAck(msg);
+    return false;
+  }
+  if (locks_->IsLocked(msg.item)) {
+    // Locked by an unrelated transaction: ignore; the transfer will be
+    // retransmitted and accepted once the lock clears (§5).
+    counters_->Inc("vm.deferred_locked");
+    return false;
+  }
+  DoAccept(msg, /*stamp_fresh=*/true);
+  return true;
+}
+
+core::Value VmManager::AcceptForTxn(const proto::VmTransferMsg& msg) {
+  // The lock holder's own timestamp already guards the fragment.
+  return DoAccept(msg, /*stamp_fresh=*/false);
+}
+
+void VmManager::ReAck(const proto::VmTransferMsg& msg) {
+  counters_->Inc("vm.duplicate");
+  SendAck(msg.vm, msg.src);
+}
+
+void VmManager::OnAck(const proto::VmAckMsg& msg) {
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  auto it = outbox_.find(msg.vm);
+  if (it == outbox_.end()) return;  // duplicate ack
+  storage_->Append(wal::LogRecord(wal::VmAckedRec{msg.vm}));
+  outbox_.erase(it);
+  transport_->CancelReliable(msg.vm.value());
+  counters_->Inc("vm.acked");
+}
+
+bool VmManager::HasOutstandingFor(ItemId item) const {
+  for (const auto& [id, out] : outbox_) {
+    (void)id;
+    if (out.item == item) return true;
+  }
+  return false;
+}
+
+void VmManager::Clear() {
+  outbox_.clear();
+  accepted_.clear();
+  next_vm_counter_ = 1;
+}
+
+void VmManager::RestoreFromLog() {
+  Clear();
+  Status s = storage_->Scan(0, [&](Lsn, const wal::LogRecord& rec) {
+    if (const auto* create = std::get_if<wal::VmCreateRec>(&rec)) {
+      outbox_.emplace(create->vm,
+                      OutVm{create->dst, create->item, create->amount,
+                            create->for_txn, /*is_read_reply=*/false,
+                            /*round=*/0});
+      if (VmIdSite(create->vm) == self_) {
+        next_vm_counter_ =
+            std::max(next_vm_counter_, VmIdCounter(create->vm) + 1);
+      }
+    } else if (const auto* accept = std::get_if<wal::VmAcceptRec>(&rec)) {
+      accepted_.insert(accept->vm);
+    } else if (const auto* acked = std::get_if<wal::VmAckedRec>(&rec)) {
+      outbox_.erase(acked->vm);
+    }
+  });
+  assert(s.ok() && "vm recovery scan hit log corruption");
+  (void)s;
+
+  // §7: "outstanding Vm need not be sent again" by any special action — the
+  // normal guaranteed-delivery machinery re-drives them. Re-arming the
+  // transport is that machinery for a reborn site.
+  //
+  // Read-reply metadata is not reconstructed: the requesting read has long
+  // since aborted (its site saw a timeout) or completed; the value itself is
+  // what must not be lost, and it is not.
+  for (const auto& [id, out] : outbox_) SendTransfer(id, out);
+}
+
+}  // namespace dvp::vm

@@ -1,0 +1,50 @@
+// Binary encoding primitives for log records: little-endian fixed integers,
+// LEB128 varints, zigzag for signed deltas, and a CRC32 (Castagnoli
+// polynomial, software implementation) used to detect torn or corrupted
+// records on recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dvp::wal {
+
+/// Appends a little-endian fixed-width integer.
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Appends a LEB128 varint.
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Appends a zigzag-encoded signed varint.
+void PutVarsint64(std::string* dst, int64_t v);
+
+/// Appends a length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+/// Cursor over an encoded buffer; all Get* return false on underflow or
+/// malformed input (the caller converts that to Status::Corruption).
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetVarint64(uint64_t* v);
+  bool GetVarsint64(int64_t* v);
+  bool GetLengthPrefixed(std::string_view* s);
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  std::string_view data_;
+};
+
+/// CRC32C over a byte buffer.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace dvp::wal

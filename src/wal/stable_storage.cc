@@ -1,0 +1,48 @@
+#include "wal/stable_storage.h"
+
+namespace dvp::wal {
+
+Lsn StableStorage::Append(const LogRecord& record) {
+  encoded_.push_back(EncodeRecord(record));
+  log_bytes_ += encoded_.back().size();
+  ++forces_;
+  Lsn lsn(encoded_.size() - 1);
+  if (post_append_hook_) post_append_hook_(lsn, record);
+  return lsn;
+}
+
+StatusOr<LogRecord> StableStorage::Read(Lsn lsn) const {
+  if (!lsn.valid() || lsn.value() >= encoded_.size()) {
+    return Status::NotFound("no record at lsn " + lsn.ToString());
+  }
+  return DecodeRecord(encoded_[lsn.value()]);
+}
+
+Status StableStorage::Scan(
+    uint64_t from,
+    const std::function<void(Lsn, const LogRecord&)>& fn) const {
+  for (uint64_t i = from; i < encoded_.size(); ++i) {
+    auto rec = DecodeRecord(encoded_[i]);
+    if (!rec.ok()) {
+      return Status::Corruption("log record " + std::to_string(i) + " at site " +
+                                site_.ToString() + ": " +
+                                rec.status().message());
+    }
+    fn(Lsn(i), rec.value());
+  }
+  return Status::OK();
+}
+
+Status StableStorage::CorruptRecordForTest(Lsn lsn, size_t byte_offset) {
+  if (!lsn.valid() || lsn.value() >= encoded_.size()) {
+    return Status::NotFound("no record at lsn " + lsn.ToString());
+  }
+  std::string& rec = encoded_[lsn.value()];
+  if (byte_offset >= rec.size()) {
+    return Status::InvalidArgument("byte offset beyond record");
+  }
+  rec[byte_offset] = static_cast<char>(rec[byte_offset] ^ 0x40);
+  return Status::OK();
+}
+
+}  // namespace dvp::wal

@@ -1,0 +1,95 @@
+// Simulated stable storage for one site: an append-only, checksummed log and
+// a checkpointed database image. A Site's volatile state (caches, lock
+// table, in-flight transactions, transport buffers) dies with a crash; the
+// StableStorage object survives — it is owned by the cluster harness, not by
+// the Site, mirroring disk vs RAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/record.h"
+
+namespace dvp::wal {
+
+/// Stable image of one fragment (the site's share of one data item).
+struct ImageEntry {
+  int64_t value = 0;
+  uint64_t ts_packed = 0;
+};
+
+class StableStorage {
+ public:
+  explicit StableStorage(SiteId site) : site_(site) {}
+
+  SiteId site() const { return site_; }
+
+  // ---- Log ----------------------------------------------------------------
+
+  /// Appends and forces a record; returns its LSN (dense, 0-based).
+  /// Every append models one synchronous stable-storage write.
+  Lsn Append(const LogRecord& record);
+
+  /// Number of records in the log.
+  uint64_t log_size() const { return encoded_.size(); }
+
+  /// Decodes the record at `lsn`.
+  StatusOr<LogRecord> Read(Lsn lsn) const;
+
+  /// Replays records with LSN in [from, log_size) through `fn`, verifying
+  /// checksums. Stops with Corruption on a damaged record.
+  Status Scan(uint64_t from,
+              const std::function<void(Lsn, const LogRecord&)>& fn) const;
+
+  /// Total log appends (each is a force) — the E10 overhead metric.
+  uint64_t forces() const { return forces_; }
+  /// Total encoded log bytes.
+  uint64_t log_bytes() const { return log_bytes_; }
+
+  // ---- Database image (checkpoint target) ---------------------------------
+
+  /// Overwrites the stable image of one fragment.
+  void WriteImage(ItemId item, int64_t value, uint64_t ts_packed) {
+    image_[item] = ImageEntry{value, ts_packed};
+  }
+
+  const std::map<ItemId, ImageEntry>& image() const { return image_; }
+
+  /// The image reflects log records with LSN < checkpoint_upto.
+  void set_checkpoint_upto(uint64_t upto) { checkpoint_upto_ = upto; }
+  uint64_t checkpoint_upto() const { return checkpoint_upto_; }
+
+  // ---- Site incarnation ----------------------------------------------------
+
+  /// Bumped by each recovery; distinguishes reborn sites.
+  uint64_t incarnation() const { return incarnation_; }
+  void set_incarnation(uint64_t inc) { incarnation_ = inc; }
+
+  // ---- Test hooks ----------------------------------------------------------
+
+  /// Invoked after each append; crash-injection tests use it to kill the
+  /// site between a log force and the in-memory update that follows it.
+  void set_post_append_hook(std::function<void(Lsn, const LogRecord&)> hook) {
+    post_append_hook_ = std::move(hook);
+  }
+
+  /// Flips one byte of an encoded record (corruption tests).
+  Status CorruptRecordForTest(Lsn lsn, size_t byte_offset);
+
+ private:
+  SiteId site_;
+  std::vector<std::string> encoded_;
+  std::map<ItemId, ImageEntry> image_;
+  uint64_t checkpoint_upto_ = 0;
+  uint64_t incarnation_ = 0;
+  uint64_t forces_ = 0;
+  uint64_t log_bytes_ = 0;
+  std::function<void(Lsn, const LogRecord&)> post_append_hook_;
+};
+
+}  // namespace dvp::wal

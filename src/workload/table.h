@@ -1,0 +1,70 @@
+// Fixed-width table printer for the benchmark harnesses: every experiment
+// prints its result as one of these tables so EXPERIMENTS.md rows can be
+// regenerated verbatim.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dvp::workload {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void AddRow(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (size_t c = 0; c < width.size(); ++c) {
+        std::string cell = c < cells.size() ? cells[c] : "";
+        os << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+      }
+      os << "\n";
+    };
+    line(headers_);
+    os << "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  template <typename T>
+  static std::string ToCell(T&& v) {
+    if constexpr (std::is_constructible_v<std::string, T>) {
+      return std::string(std::forward<T>(v));
+    } else if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      std::ostringstream os;
+      os.setf(std::ios::fixed);
+      os.precision(2);
+      os << v;
+      return os.str();
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvp::workload

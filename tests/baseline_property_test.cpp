@@ -1,0 +1,168 @@
+// Property tests for the traditional baselines: quorum intersection reads,
+// 2PC atomicity across replicas under chaotic partitions, and escrow
+// admission bounds under random loads. The baselines must be *correct* for
+// the experiment comparisons against them to mean anything.
+#include <gtest/gtest.h>
+
+#include "baseline/escrow.h"
+#include "baseline/twopc.h"
+#include "common/rng.h"
+#include "dvpcore/catalog.h"
+
+namespace dvp {
+namespace {
+
+using baseline::EscrowSite;
+using baseline::ReplicaPolicy;
+using baseline::TwoPcCluster;
+using baseline::TwoPcOptions;
+using core::CountDomain;
+using txn::TxnOp;
+using txn::TxnResult;
+using txn::TxnSpec;
+
+class TwoPcChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Under random serial traffic with random partitions and heals, committed
+// state must stay linearisable: any quorum read returns exactly the value
+// implied by the committed updates before it, and after healing all
+// replicas converge to the same latest version.
+TEST_P(TwoPcChaosTest, QuorumReadsLinearizeAndReplicasConverge) {
+  core::Catalog catalog;
+  ItemId item = catalog.AddItem("x", CountDomain::Instance(), 10'000);
+  TwoPcOptions opts;
+  opts.num_sites = 5;
+  opts.seed = GetParam();
+  opts.policy = ReplicaPolicy::kQuorum;
+  opts.coordinator_timeout_us = 150'000;
+  TwoPcCluster cluster(&catalog, opts);
+  cluster.Bootstrap();
+
+  Rng rng(GetParam() * 71 + 3);
+  core::Value committed = 10'000;
+
+  for (int step = 0; step < 60; ++step) {
+    // Random fault state.
+    double roll = rng.NextDouble();
+    if (roll < 0.15) {
+      std::vector<SiteId> a, b;
+      for (uint32_t s = 0; s < 5; ++s) {
+        (rng.NextBool(0.5) ? a : b).push_back(SiteId(s));
+      }
+      if (!a.empty() && !b.empty()) (void)cluster.Partition({a, b});
+    } else if (roll < 0.30) {
+      cluster.Heal();
+    }
+
+    // One transaction at a time (serial): its effect is deterministic.
+    SiteId at(static_cast<uint32_t>(rng.NextBounded(5)));
+    bool is_read = rng.NextBool(0.3);
+    TxnSpec spec;
+    core::Value amount = rng.NextInt(1, 9);
+    if (is_read) {
+      spec.ops = {TxnOp::ReadFull(item)};
+    } else {
+      spec.ops = {rng.NextBool(0.5) ? TxnOp::Decrement(item, amount)
+                                    : TxnOp::Increment(item, amount)};
+    }
+    TxnResult out;
+    bool done = false;
+    auto submitted = cluster.Submit(at, spec, [&](const TxnResult& r) {
+      out = r;
+      done = true;
+    });
+    ASSERT_TRUE(submitted.ok());
+    cluster.RunFor(2'000'000);
+    ASSERT_TRUE(done) << "2PC coordinator failed to decide";
+    if (out.committed()) {
+      if (is_read) {
+        EXPECT_EQ(out.read_values.at(item), committed)
+            << "quorum read missed a committed update (step " << step << ")";
+      } else {
+        committed += spec.ops[0].kind == TxnOp::Kind::kIncrement
+                         ? spec.ops[0].amount
+                         : -spec.ops[0].amount;
+      }
+    }
+  }
+
+  // Heal and converge: the latest version must equal the committed value.
+  cluster.Heal();
+  cluster.RunFor(3'000'000);
+  EXPECT_EQ(cluster.AuthoritativeValue(item), committed);
+  EXPECT_EQ(cluster.BlockedParticipants(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoPcChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TwoPcAtomicityTest, WriteAllReplicasAgreeAfterConcurrentLoad) {
+  core::Catalog catalog;
+  ItemId item = catalog.AddItem("x", CountDomain::Instance(), 5'000);
+  TwoPcOptions opts;
+  opts.num_sites = 4;
+  opts.seed = 17;
+  opts.policy = ReplicaPolicy::kWriteAll;
+  TwoPcCluster cluster(&catalog, opts);
+  cluster.Bootstrap();
+
+  Rng rng(29);
+  core::Value committed = 5'000;
+  int decided = 0, submitted_n = 0;
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec spec;
+    core::Value amount = rng.NextInt(1, 5);
+    bool down = rng.NextBool(0.5);
+    spec.ops = {down ? TxnOp::Decrement(item, amount)
+                     : TxnOp::Increment(item, amount)};
+    ++submitted_n;
+    (void)cluster.Submit(
+        SiteId(uint32_t(rng.NextBounded(4))), spec,
+        [&, down, amount](const TxnResult& r) {
+          ++decided;
+          if (r.committed()) committed += down ? -amount : amount;
+        });
+    cluster.RunFor(rng.NextInt(1'000, 20'000));
+  }
+  cluster.RunFor(3'000'000);
+  ASSERT_EQ(decided, submitted_n);
+  // Atomicity: every replica holds exactly the committed value.
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cluster.ReplicaValue(SiteId(s), item), committed)
+        << "replica " << s << " diverged";
+  }
+}
+
+class EscrowPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EscrowPropertyTest, AdmissionNeverOverdrawsUnderRandomLoad) {
+  sim::Kernel kernel;
+  EscrowSite escrow(&kernel, EscrowSite::Mode::kEscrow, 200, 8'000);
+  Rng rng(GetParam() * 5 + 1);
+  SimTime t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.NextInt(1, 4'000);
+    core::Value m = rng.NextInt(1, 9);
+    bool down = rng.NextBool(0.6);
+    kernel.ScheduleAt(t, [&escrow, m, down]() {
+      // The invariant: committed - reserved >= 0 at admission time, so the
+      // committed value can never dip below zero.
+      if (down) {
+        escrow.Decrement(m, nullptr);
+      } else {
+        escrow.Increment(m, nullptr);
+      }
+      ASSERT_GE(escrow.committed_value() - escrow.reserved_decrements(), 0);
+    });
+  }
+  kernel.Run();
+  EXPECT_GE(escrow.committed_value(), 0);
+  EXPECT_EQ(escrow.reserved_decrements(), 0);
+  EXPECT_GT(escrow.stats().committed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscrowPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dvp

@@ -1,0 +1,196 @@
+// End-to-end tests of the DvP cluster on the paper's §3 running example:
+// flight A with N = 100 seats, four sites W, X, Y, Z holding 25 each.
+#include <gtest/gtest.h>
+
+#include "system/cluster.h"
+
+namespace dvp {
+namespace {
+
+using core::CountDomain;
+using core::Value;
+using system::Cluster;
+using system::ClusterOptions;
+using txn::TxnOp;
+using txn::TxnOutcome;
+using txn::TxnResult;
+using txn::TxnSpec;
+
+constexpr SiteId kW{0}, kX{1}, kY{2}, kZ{3};
+
+class AirlineTest : public ::testing::Test {
+ protected:
+  AirlineTest() {
+    flight_a_ = catalog_.AddItem("flightA", CountDomain::Instance(), 100);
+    ClusterOptions opts;
+    opts.num_sites = 4;
+    opts.seed = 7;
+    cluster_ = std::make_unique<Cluster>(&catalog_, opts);
+    cluster_->BootstrapEven();
+  }
+
+  TxnResult SubmitAndRun(SiteId at, const TxnSpec& spec,
+                         SimTime run_us = 2'000'000) {
+    TxnResult out;
+    bool done = false;
+    auto submitted = cluster_->Submit(at, spec, [&](const TxnResult& r) {
+      out = r;
+      done = true;
+    });
+    EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+    cluster_->RunFor(run_us);
+    EXPECT_TRUE(done) << "transaction never reached a decision (blocking!)";
+    return out;
+  }
+
+  core::Catalog catalog_;
+  ItemId flight_a_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(AirlineTest, BootstrapSplitsEvenly) {
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cluster_->site(SiteId(s)).LocalValue(flight_a_), 25);
+  }
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 100);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, LocalReservationCommitsImmediately) {
+  // Customers requesting 3, 4 and 5 seats at W: N_W goes 22, 18, 13.
+  for (Value seats : {3, 4, 5}) {
+    TxnSpec spec;
+    spec.ops = {TxnOp::Decrement(flight_a_, seats)};
+    TxnResult r = SubmitAndRun(kW, spec);
+    EXPECT_EQ(r.outcome, TxnOutcome::kCommitted) << r.status.ToString();
+    EXPECT_EQ(r.rounds, 0u) << "local execution should need no requests";
+  }
+  EXPECT_EQ(cluster_->site(kW).LocalValue(flight_a_), 13);
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 88);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, CancellationIsAlwaysLocal) {
+  TxnSpec cancel;
+  cancel.ops = {TxnOp::Increment(flight_a_, 2)};
+  TxnResult r = SubmitAndRun(kX, cancel);
+  EXPECT_EQ(r.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster_->site(kX).LocalValue(flight_a_), 27);
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 102);
+}
+
+TEST_F(AirlineTest, ShortfallTriggersRedistributionAndCommits) {
+  // Drain X down to 3 seats, then ask for 5: X must gather at least 2 more.
+  TxnSpec drain;
+  drain.ops = {TxnOp::Decrement(flight_a_, 22)};
+  ASSERT_EQ(SubmitAndRun(kX, drain).outcome, TxnOutcome::kCommitted);
+  ASSERT_EQ(cluster_->site(kX).LocalValue(flight_a_), 3);
+
+  TxnSpec want5;
+  want5.ops = {TxnOp::Decrement(flight_a_, 5)};
+  TxnResult r = SubmitAndRun(kX, want5);
+  EXPECT_EQ(r.outcome, TxnOutcome::kCommitted) << r.status.ToString();
+  EXPECT_GE(r.rounds, 1u);
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 73);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, OverDemandAborts) {
+  TxnSpec too_many;
+  too_many.ops = {TxnOp::Decrement(flight_a_, 101)};
+  TxnResult r = SubmitAndRun(kY, too_many);
+  EXPECT_EQ(r.outcome, TxnOutcome::kAbortTimeout);
+  // The gather moved value to Y but destroyed none of it.
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 100);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, FullReadDrainsEverything) {
+  TxnSpec read;
+  read.ops = {TxnOp::ReadFull(flight_a_)};
+  TxnResult r = SubmitAndRun(kX, read);
+  ASSERT_EQ(r.outcome, TxnOutcome::kCommitted) << r.status.ToString();
+  EXPECT_EQ(r.read_values.at(flight_a_), 100);
+  // §3: after the read, N = N_X and every other share is zero.
+  EXPECT_EQ(cluster_->site(kX).LocalValue(flight_a_), 100);
+  EXPECT_EQ(cluster_->site(kW).LocalValue(flight_a_), 0);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, ReservationDuringPartitionUsesLocalQuota) {
+  // Split {W,X} | {Y,Z}. Local quotas keep working in both groups.
+  ASSERT_TRUE(cluster_->Partition({{kW, kX}, {kY, kZ}}).ok());
+
+  TxnSpec small;
+  small.ops = {TxnOp::Decrement(flight_a_, 10)};
+  EXPECT_EQ(SubmitAndRun(kW, small).outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(SubmitAndRun(kZ, small).outcome, TxnOutcome::kCommitted);
+
+  // A demand exceeding the group's reachable value aborts by timeout — a
+  // bounded decision, not a hang; no partition detection anywhere.
+  TxnSpec large;
+  large.ops = {TxnOp::Decrement(flight_a_, 45)};
+  TxnResult r = SubmitAndRun(kX, large);
+  EXPECT_EQ(r.outcome, TxnOutcome::kAbortTimeout);
+
+  cluster_->Heal();
+  // After healing, the same demand can be met from the whole network.
+  TxnResult r2 = SubmitAndRun(kX, large);
+  EXPECT_EQ(r2.outcome, TxnOutcome::kCommitted) << r2.status.ToString();
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 100 - 10 - 10 - 45);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AirlineTest, MultiItemTransferBetweenFlights) {
+  core::Catalog catalog;
+  ItemId a = catalog.AddItem("flightA", CountDomain::Instance(), 40);
+  ItemId b = catalog.AddItem("flightB", CountDomain::Instance(), 40);
+  ClusterOptions opts;
+  opts.num_sites = 4;
+  Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+
+  // Change a 4-seat reservation from flight A to flight B at site 2.
+  TxnSpec change;
+  change.ops = {TxnOp::Increment(a, 4), TxnOp::Decrement(b, 4)};
+  TxnResult out;
+  bool done = false;
+  ASSERT_TRUE(cluster
+                  .Submit(SiteId(2), change,
+                          [&](const TxnResult& r) {
+                            out = r;
+                            done = true;
+                          })
+                  .ok());
+  cluster.RunFor(2'000'000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster.TotalOf(a), 44);
+  EXPECT_EQ(cluster.TotalOf(b), 36);
+  EXPECT_TRUE(cluster.AuditAll().ok());
+}
+
+TEST_F(AirlineTest, CrashedSiteValueStaysDurable) {
+  TxnSpec spec;
+  spec.ops = {TxnOp::Decrement(flight_a_, 5)};
+  ASSERT_EQ(SubmitAndRun(kW, spec).outcome, TxnOutcome::kCommitted);
+
+  cluster_->CrashSite(kW);
+  // The crashed site's share is temporarily inaccessible but not lost.
+  EXPECT_EQ(cluster_->site(kW).DurableValue(flight_a_), 20);
+  EXPECT_EQ(cluster_->TotalOf(flight_a_), 95);
+
+  // Other sites keep processing against their own quotas.
+  EXPECT_EQ(SubmitAndRun(kY, spec).outcome, TxnOutcome::kCommitted);
+
+  cluster_->RecoverSite(kW);
+  cluster_->RunFor(1'000'000);
+  EXPECT_TRUE(cluster_->site(kW).IsUp());
+  EXPECT_EQ(cluster_->site(kW).LocalValue(flight_a_), 20);
+  // Independent recovery: a local transaction commits right away.
+  EXPECT_EQ(SubmitAndRun(kW, spec).outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+}  // namespace
+}  // namespace dvp

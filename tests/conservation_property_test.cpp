@@ -1,0 +1,125 @@
+// The central safety property (§3, §4.2): at every instant,
+//     Σ fragments + Σ live Vm = initial + Σ committed deltas
+// for every item — under random transactions, random partitions, random
+// crashes/recoveries, lossy/duplicating links. The auditor runs from stable
+// state only, so it is checked after EVERY simulation event.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "system/cluster.h"
+
+namespace dvp {
+namespace {
+
+using core::CountDomain;
+using txn::TxnOp;
+using txn::TxnSpec;
+
+struct ChaosCase {
+  uint64_t seed;
+  double loss;
+  double dup;
+  bool crashes;
+  bool partitions;
+};
+
+class ConservationChaosTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ConservationChaosTest, InvariantHoldsAfterEveryEvent) {
+  const ChaosCase& c = GetParam();
+
+  core::Catalog catalog;
+  std::vector<ItemId> items;
+  items.push_back(catalog.AddItem("a", CountDomain::Instance(), 300));
+  items.push_back(catalog.AddItem("b", CountDomain::Instance(), 120));
+
+  system::ClusterOptions opts;
+  opts.num_sites = 4;
+  opts.seed = c.seed;
+  opts.link.loss_prob = c.loss;
+  opts.link.duplicate_prob = c.dup;
+  opts.site.txn.timeout_us = 150'000;
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+
+  // Audit after every event (expensive; keep the horizon modest).
+  uint64_t audits = 0;
+  cluster.kernel().set_post_event_hook([&]() {
+    ++audits;
+    Status s = cluster.AuditAll();
+    ASSERT_TRUE(s.ok()) << "after event " << audits << ": " << s.ToString();
+  });
+
+  Rng rng(c.seed * 101 + 7);
+  std::vector<bool> up(4, true);
+
+  // Random activity: transactions, redistribution, partitions, crashes.
+  for (int step = 0; step < 120; ++step) {
+    double roll = rng.NextDouble();
+    SiteId at(static_cast<uint32_t>(rng.NextBounded(4)));
+    ItemId item = items[rng.NextBounded(items.size())];
+    if (roll < 0.55) {
+      TxnSpec spec;
+      core::Value amount = rng.NextInt(1, 12);
+      spec.ops = {rng.NextBool(0.5) ? TxnOp::Decrement(item, amount)
+                                    : TxnOp::Increment(item, amount)};
+      if (up[at.value()]) (void)cluster.Submit(at, spec, nullptr);
+    } else if (roll < 0.65) {
+      if (up[at.value()]) {
+        SiteId dst(static_cast<uint32_t>(rng.NextBounded(4)));
+        (void)cluster.site(at).SendValue(dst, item, rng.NextInt(1, 5));
+      }
+    } else if (roll < 0.72) {
+      if (up[at.value()]) cluster.site(at).Prefetch(item, rng.NextInt(1, 8));
+    } else if (roll < 0.80 && c.partitions) {
+      if (rng.NextBool(0.5)) {
+        (void)cluster.Partition(
+            {{SiteId(0), SiteId(rng.NextBool(0.5) ? 1u : 2u)},
+             {SiteId(3), SiteId(rng.NextBool(0.5) ? 2u : 1u)}});
+      } else {
+        cluster.Heal();
+      }
+    } else if (roll < 0.88 && c.crashes) {
+      if (up[at.value()]) {
+        cluster.CrashSite(at);
+        up[at.value()] = false;
+      } else {
+        cluster.RecoverSite(at);
+        up[at.value()] = true;
+      }
+    }
+    cluster.RunFor(rng.NextInt(1'000, 60'000));
+  }
+
+  // Let everything settle (recover all, heal, drain).
+  cluster.Heal();
+  for (uint32_t s = 0; s < 4; ++s) {
+    if (!up[s]) cluster.RecoverSite(SiteId(s));
+  }
+  cluster.RunFor(3'000'000);
+  EXPECT_TRUE(cluster.AuditAll().ok());
+  EXPECT_GT(audits, 40u) << "the hook must actually have audited";
+
+  // After the dust settles with no faults pending, in-flight value drains to
+  // zero (every Vm is eventually accepted).
+  for (ItemId item : items) {
+    auto breakdown = cluster.Audit(item);
+    EXPECT_EQ(breakdown.in_flight, 0)
+        << "undelivered Vm value remained for item " << item.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ConservationChaosTest,
+    ::testing::Values(
+        ChaosCase{1, 0.0, 0.0, false, false},   // calm
+        ChaosCase{2, 0.3, 0.1, false, false},   // lossy
+        ChaosCase{3, 0.0, 0.0, true, false},    // crashes
+        ChaosCase{4, 0.0, 0.0, false, true},    // partitions
+        ChaosCase{5, 0.3, 0.1, true, true},     // everything
+        ChaosCase{6, 0.6, 0.2, true, true},     // brutal
+        ChaosCase{7, 0.1, 0.0, true, true},
+        ChaosCase{8, 0.2, 0.3, false, true}));
+
+}  // namespace
+}  // namespace dvp

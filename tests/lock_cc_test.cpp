@@ -1,0 +1,111 @@
+// Unit tests for the lock manager (try-lock-only, deadlock-free by
+// construction) and the Conc1/Conc2 policy object.
+#include <gtest/gtest.h>
+
+#include "cc/lock_manager.h"
+#include "cc/policy.h"
+
+namespace dvp::cc {
+namespace {
+
+std::vector<ItemId> Items(std::initializer_list<uint32_t> ids) {
+  std::vector<ItemId> out;
+  for (uint32_t id : ids) out.push_back(ItemId(id));
+  return out;
+}
+
+TEST(LockManagerTest, TryLockAllGrantsWhenFree) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockAll(Items({1, 2, 3}), TxnId(10)));
+  EXPECT_EQ(locks.num_locked(), 3u);
+  EXPECT_TRUE(locks.HeldBy(ItemId(2), TxnId(10)));
+  EXPECT_EQ(locks.OwnerOf(ItemId(3)), TxnId(10));
+}
+
+TEST(LockManagerTest, TryLockAllIsAllOrNothing) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLock(ItemId(2), TxnId(1)));
+  EXPECT_FALSE(locks.TryLockAll(Items({1, 2, 3}), TxnId(9)));
+  // Nothing acquired: items 1 and 3 stay free.
+  EXPECT_FALSE(locks.IsLocked(ItemId(1)));
+  EXPECT_FALSE(locks.IsLocked(ItemId(3)));
+  EXPECT_EQ(locks.OwnerOf(ItemId(2)), TxnId(1));
+}
+
+TEST(LockManagerTest, OwnerMayRelock) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLock(ItemId(1), TxnId(5)));
+  EXPECT_TRUE(locks.TryLock(ItemId(1), TxnId(5)));
+  EXPECT_TRUE(locks.TryLockAll(Items({1, 2}), TxnId(5)));
+}
+
+TEST(LockManagerTest, DuplicateItemsInRequestAreFine) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockAll(Items({4, 4, 4}), TxnId(2)));
+  EXPECT_EQ(locks.num_locked(), 1u);
+}
+
+TEST(LockManagerTest, UnlockOnlyByOwner) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLock(ItemId(1), TxnId(5)));
+  locks.Unlock(ItemId(1), TxnId(6));  // not the owner: no-op
+  EXPECT_TRUE(locks.IsLocked(ItemId(1)));
+  locks.Unlock(ItemId(1), TxnId(5));
+  EXPECT_FALSE(locks.IsLocked(ItemId(1)));
+}
+
+TEST(LockManagerTest, ReleaseAllFreesOnlyOwners) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockAll(Items({1, 2}), TxnId(5)));
+  ASSERT_TRUE(locks.TryLock(ItemId(3), TxnId(6)));
+  locks.ReleaseAll(TxnId(5));
+  EXPECT_FALSE(locks.IsLocked(ItemId(1)));
+  EXPECT_FALSE(locks.IsLocked(ItemId(2)));
+  EXPECT_TRUE(locks.IsLocked(ItemId(3)));
+}
+
+TEST(LockManagerTest, ClearDropsEverything) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockAll(Items({1, 2, 3}), TxnId(5)));
+  locks.Clear();
+  EXPECT_EQ(locks.num_locked(), 0u);
+  EXPECT_EQ(locks.OwnerOf(ItemId(1)), TxnId::Invalid());
+}
+
+TEST(LockManagerTest, OwnerOfFreeItemIsInvalid) {
+  LockManager locks;
+  EXPECT_FALSE(locks.OwnerOf(ItemId(42)).valid());
+  EXPECT_FALSE(locks.HeldBy(ItemId(42), TxnId(1)));
+}
+
+// ---- CcPolicy -----------------------------------------------------------------
+
+TEST(CcPolicyTest, Conc1GateRequiresDominatingTimestamp) {
+  CcPolicy policy(CcScheme::kConc1);
+  Timestamp newer(10, SiteId(0));
+  Timestamp older(5, SiteId(1));
+  EXPECT_TRUE(policy.MayLock(newer, older));
+  EXPECT_FALSE(policy.MayLock(older, newer));
+  EXPECT_TRUE(policy.StampOnLock());
+  EXPECT_FALSE(policy.BroadcastRequests());
+}
+
+TEST(CcPolicyTest, Conc1RejectsEqualTimestampAtBegin) {
+  CcPolicy policy(CcScheme::kConc1);
+  Timestamp ts(10, SiteId(0));
+  // MayLock uses strict dominance at Begin; re-access equality is handled
+  // by the request path, not this predicate.
+  EXPECT_FALSE(policy.MayLock(ts, ts));
+}
+
+TEST(CcPolicyTest, Conc2HasNoTimestampGate) {
+  CcPolicy policy(CcScheme::kConc2);
+  Timestamp newer(10, SiteId(0));
+  Timestamp older(5, SiteId(1));
+  EXPECT_TRUE(policy.MayLock(older, newer));
+  EXPECT_FALSE(policy.StampOnLock());
+  EXPECT_TRUE(policy.BroadcastRequests());
+}
+
+}  // namespace
+}  // namespace dvp::cc

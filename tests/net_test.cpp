@@ -1,0 +1,311 @@
+// Unit tests for the network substrate: partition oracle, link fault model,
+// routing semantics, broadcast ordering, transport retransmission.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/transport.h"
+#include "sim/kernel.h"
+
+namespace dvp::net {
+namespace {
+
+struct TestMsg final : public Envelope {
+  explicit TestMsg(int v) : value(v) {}
+  int value;
+  std::string_view Tag() const override { return "Test"; }
+};
+
+// ---- PartitionOracle ---------------------------------------------------------
+
+TEST(PartitionOracleTest, StartsFullyConnected) {
+  PartitionOracle oracle(4);
+  EXPECT_FALSE(oracle.IsPartitioned());
+  EXPECT_EQ(oracle.num_groups(), 1u);
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      EXPECT_TRUE(oracle.Connected(SiteId(a), SiteId(b)));
+    }
+  }
+}
+
+TEST(PartitionOracleTest, SplitSeparatesGroups) {
+  PartitionOracle oracle(4);
+  ASSERT_TRUE(oracle.Split({{SiteId(0), SiteId(1)}, {SiteId(2), SiteId(3)}})
+                  .ok());
+  EXPECT_TRUE(oracle.IsPartitioned());
+  EXPECT_EQ(oracle.num_groups(), 2u);
+  EXPECT_TRUE(oracle.Connected(SiteId(0), SiteId(1)));
+  EXPECT_TRUE(oracle.Connected(SiteId(2), SiteId(3)));
+  EXPECT_FALSE(oracle.Connected(SiteId(0), SiteId(2)));
+  EXPECT_FALSE(oracle.Connected(SiteId(1), SiteId(3)));
+}
+
+TEST(PartitionOracleTest, SelfIsAlwaysConnected) {
+  PartitionOracle oracle(2);
+  ASSERT_TRUE(oracle.Split({{SiteId(0)}, {SiteId(1)}}).ok());
+  EXPECT_TRUE(oracle.Connected(SiteId(0), SiteId(0)));
+}
+
+TEST(PartitionOracleTest, HealRestores) {
+  PartitionOracle oracle(3);
+  ASSERT_TRUE(oracle.Split({{SiteId(0)}, {SiteId(1), SiteId(2)}}).ok());
+  uint64_t v = oracle.version();
+  oracle.Heal();
+  EXPECT_GT(oracle.version(), v);
+  EXPECT_FALSE(oracle.IsPartitioned());
+  EXPECT_TRUE(oracle.Connected(SiteId(0), SiteId(2)));
+}
+
+TEST(PartitionOracleTest, SplitValidatesCoverage) {
+  PartitionOracle oracle(3);
+  EXPECT_FALSE(oracle.Split({{SiteId(0)}, {SiteId(1)}}).ok());  // missing 2
+  EXPECT_FALSE(
+      oracle.Split({{SiteId(0), SiteId(0)}, {SiteId(1), SiteId(2)}}).ok());
+  EXPECT_FALSE(oracle.Split({{SiteId(0), SiteId(7)}, {SiteId(1), SiteId(2)}})
+                   .ok());  // out of range
+}
+
+TEST(PartitionOracleTest, IsolateCutsOneSite) {
+  PartitionOracle oracle(4);
+  ASSERT_TRUE(oracle.Isolate(SiteId(2)).ok());
+  EXPECT_FALSE(oracle.Connected(SiteId(2), SiteId(0)));
+  EXPECT_TRUE(oracle.Connected(SiteId(0), SiteId(1)));
+  EXPECT_TRUE(oracle.Connected(SiteId(0), SiteId(3)));
+}
+
+TEST(PartitionOracleTest, ThreeWaySplit) {
+  PartitionOracle oracle(4);
+  ASSERT_TRUE(
+      oracle.Split({{SiteId(0)}, {SiteId(1)}, {SiteId(2), SiteId(3)}}).ok());
+  EXPECT_EQ(oracle.num_groups(), 3u);
+  EXPECT_FALSE(oracle.Connected(SiteId(0), SiteId(1)));
+  EXPECT_TRUE(oracle.Connected(SiteId(2), SiteId(3)));
+}
+
+// ---- Link ---------------------------------------------------------------------
+
+TEST(LinkTest, SynchronousIsDeterministic) {
+  Link link(LinkParams::Synchronous(500), Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(link.SampleLoss());
+    EXPECT_FALSE(link.SampleDuplicate());
+    EXPECT_EQ(link.SampleDelay(), 500);
+  }
+}
+
+TEST(LinkTest, AlwaysLossyDropsEverything) {
+  LinkParams p;
+  p.loss_prob = 1.0;
+  Link link(p, Rng(2));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(link.SampleLoss());
+}
+
+TEST(LinkTest, JitterAddsToBaseDelay) {
+  LinkParams p;
+  p.base_delay_us = 100;
+  p.jitter_mean_us = 50;
+  Link link(p, Rng(3));
+  for (int i = 0; i < 100; ++i) EXPECT_GE(link.SampleDelay(), 100);
+}
+
+// ---- Network --------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : network_(&kernel_, 3, LinkParams::Synchronous(1000), Rng(5)) {
+    for (uint32_t s = 0; s < 3; ++s) {
+      network_.RegisterEndpoint(
+          SiteId(s),
+          [this, s](const Packet& p) {
+            received_[s].push_back(
+                static_cast<const TestMsg*>(p.payload.get())->value);
+          },
+          [this, s]() { return up_[s]; });
+    }
+  }
+
+  void Send(uint32_t from, uint32_t to, int value) {
+    Packet p;
+    p.src = SiteId(from);
+    p.dst = SiteId(to);
+    p.payload = std::make_shared<TestMsg>(value);
+    network_.Send(std::move(p));
+  }
+
+  sim::Kernel kernel_;
+  Network network_;
+  std::vector<int> received_[3];
+  bool up_[3] = {true, true, true};
+};
+
+TEST_F(NetworkTest, DeliversAfterLinkDelay) {
+  Send(0, 1, 42);
+  EXPECT_TRUE(received_[1].empty());
+  kernel_.Run();
+  EXPECT_EQ(received_[1], (std::vector<int>{42}));
+  EXPECT_EQ(kernel_.Now(), 1000);
+}
+
+TEST_F(NetworkTest, LoopbackIsImmediate) {
+  Send(2, 2, 9);
+  kernel_.Run();
+  EXPECT_EQ(received_[2], (std::vector<int>{9}));
+  EXPECT_EQ(kernel_.Now(), 0);
+}
+
+TEST_F(NetworkTest, DropsAcrossPartition) {
+  ASSERT_TRUE(
+      network_.partition().Split({{SiteId(0)}, {SiteId(1), SiteId(2)}}).ok());
+  Send(0, 1, 1);
+  kernel_.Run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(network_.stats().packets_lost_partition, 1u);
+}
+
+TEST_F(NetworkTest, InFlightPacketDiesWhenPartitionStrikes) {
+  Send(0, 1, 7);  // arrives at t=1000
+  kernel_.Schedule(500, [this]() {
+    ASSERT_TRUE(network_.partition()
+                    .Split({{SiteId(0)}, {SiteId(1), SiteId(2)}})
+                    .ok());
+  });
+  kernel_.Run();
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(NetworkTest, HealedInFlightStillDelivered) {
+  ASSERT_TRUE(
+      network_.partition().Split({{SiteId(0)}, {SiteId(1), SiteId(2)}}).ok());
+  network_.partition().Heal();
+  Send(0, 1, 5);
+  kernel_.Run();
+  EXPECT_EQ(received_[1], (std::vector<int>{5}));
+}
+
+TEST_F(NetworkTest, DownDestinationLosesPacket) {
+  up_[1] = false;
+  Send(0, 1, 3);
+  kernel_.Run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(network_.stats().packets_lost_down, 1u);
+}
+
+TEST_F(NetworkTest, BroadcastReachesAllOthersSimultaneously) {
+  network_.Broadcast(SiteId(0), std::make_shared<TestMsg>(11));
+  kernel_.Run();
+  EXPECT_EQ(received_[1], (std::vector<int>{11}));
+  EXPECT_EQ(received_[2], (std::vector<int>{11}));
+  EXPECT_TRUE(received_[0].empty());
+}
+
+TEST_F(NetworkTest, BroadcastsFromTwoSitesArriveInSameOrderEverywhere) {
+  // Order-synchronous property required by Conc2 (§6.2).
+  network_.Broadcast(SiteId(0), std::make_shared<TestMsg>(100));
+  network_.Broadcast(SiteId(1), std::make_shared<TestMsg>(200));
+  kernel_.Run();
+  EXPECT_EQ(received_[2], (std::vector<int>{100, 200}));
+}
+
+TEST_F(NetworkTest, FullyLossyLinkDropsAll) {
+  LinkParams lossy;
+  lossy.loss_prob = 1.0;
+  network_.SetLinkParams(SiteId(0), SiteId(1), lossy);
+  for (int i = 0; i < 10; ++i) Send(0, 1, i);
+  kernel_.Run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(network_.stats().packets_lost_link, 10u);
+  // The reverse direction is unaffected.
+  Send(1, 0, 1);
+  kernel_.Run();
+  EXPECT_EQ(received_[0].size(), 1u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  LinkParams dupl;
+  dupl.duplicate_prob = 1.0;
+  dupl.jitter_mean_us = 0;
+  network_.SetLinkParams(SiteId(0), SiteId(1), dupl);
+  Send(0, 1, 8);
+  kernel_.Run();
+  EXPECT_EQ(received_[1].size(), 2u);
+  EXPECT_EQ(network_.stats().packets_duplicated, 1u);
+}
+
+// ---- Transport -------------------------------------------------------------------
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : network_(&kernel_, 2, LinkParams::Synchronous(1000), Rng(6)) {
+    Transport::Options opts;
+    opts.rto_us = 10'000;
+    for (uint32_t s = 0; s < 2; ++s) {
+      transport_[s] = std::make_unique<Transport>(&kernel_, &network_,
+                                                  SiteId(s), opts);
+      Transport* t = transport_[s].get();
+      network_.RegisterEndpoint(
+          SiteId(s), [t](const Packet& p) { t->OnPacket(p); },
+          []() { return true; });
+      transport_[s]->set_deliver_fn(
+          [this, s](SiteId, EnvelopePtr payload) {
+            received_[s].push_back(
+                static_cast<const TestMsg*>(payload.get())->value);
+          });
+    }
+  }
+
+  sim::Kernel kernel_;
+  Network network_;
+  std::unique_ptr<Transport> transport_[2];
+  std::vector<int> received_[2];
+};
+
+TEST_F(TransportTest, DatagramDelivers) {
+  transport_[0]->SendDatagram(SiteId(1), std::make_shared<TestMsg>(1));
+  kernel_.Run();
+  EXPECT_EQ(received_[1], (std::vector<int>{1}));
+}
+
+TEST_F(TransportTest, ReliableRetransmitsUntilCancelled) {
+  transport_[0]->SendReliable(SiteId(1), 77, std::make_shared<TestMsg>(2));
+  EXPECT_EQ(transport_[0]->outstanding(), 1u);
+  kernel_.Run(35'000);  // several RTOs
+  EXPECT_GE(received_[1].size(), 3u);  // original + >= 2 retransmissions
+  EXPECT_GE(transport_[0]->retransmissions(), 2u);
+  transport_[0]->CancelReliable(77);
+  size_t so_far = received_[1].size();
+  kernel_.Run(kernel_.Now() + 50'000);
+  EXPECT_EQ(received_[1].size(), so_far);  // silence after cancel
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, ReliableSurvivesTotalLossUntilHeal) {
+  ASSERT_TRUE(network_.partition().Split({{SiteId(0)}, {SiteId(1)}}).ok());
+  transport_[0]->SendReliable(SiteId(1), 5, std::make_shared<TestMsg>(3));
+  kernel_.Run(50'000);
+  EXPECT_TRUE(received_[1].empty());
+  network_.partition().Heal();
+  kernel_.Run(kernel_.Now() + 50'000);
+  EXPECT_FALSE(received_[1].empty());
+}
+
+TEST_F(TransportTest, CrashClearsOutstanding) {
+  transport_[0]->SendReliable(SiteId(1), 9, std::make_shared<TestMsg>(4));
+  transport_[0]->Crash();
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+  size_t delivered_before = received_[1].size();
+  kernel_.Run(100'000);
+  // Only the single pre-crash send can arrive; no retransmissions.
+  EXPECT_LE(received_[1].size() - delivered_before, 1u);
+}
+
+TEST_F(TransportTest, CancelUnknownTokenIsNoOp) {
+  transport_[0]->CancelReliable(424242);  // no crash
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace dvp::net

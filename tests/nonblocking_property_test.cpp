@@ -1,0 +1,109 @@
+// The non-blocking property (§2, §5), tested adversarially: under flapping
+// random partitions, crashes of remote sites, and total message loss, every
+// transaction submitted at an up site reaches its decision within
+// timeout + ε of local work — no decision ever depends on failure detection
+// or on another site's progress.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "system/cluster.h"
+
+namespace dvp {
+namespace {
+
+using core::CountDomain;
+using txn::TxnOp;
+using txn::TxnSpec;
+
+constexpr SimTime kTimeout = 200'000;
+// Decisions happen at commit, at the timeout, or at a crash; the bound is
+// the timeout plus the local compute window (zero here).
+constexpr SimTime kBound = kTimeout + 1'000;
+
+struct NbCase {
+  uint64_t seed;
+  double loss;
+  SimTime flap_period_us;  // partition reshuffle period (0 = none)
+  bool crash_remotes;
+};
+
+class NonBlockingTest : public ::testing::TestWithParam<NbCase> {};
+
+TEST_P(NonBlockingTest, EveryDecisionWithinBound) {
+  const NbCase& c = GetParam();
+
+  core::Catalog catalog;
+  ItemId item = catalog.AddItem("pool", CountDomain::Instance(), 200);
+  system::ClusterOptions opts;
+  opts.num_sites = 4;
+  opts.seed = c.seed;
+  opts.link.loss_prob = c.loss;
+  opts.site.txn.timeout_us = kTimeout;
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+
+  Rng rng(c.seed * 7 + 3);
+
+  // Adversarial partition flapping. Declared at function scope: the
+  // self-rescheduling closure must outlive every RunFor below.
+  std::function<void()> flap;
+  if (c.flap_period_us > 0) {
+    flap = [&]() {
+      std::vector<SiteId> a, b;
+      do {
+        a.clear();
+        b.clear();
+        for (uint32_t s = 0; s < 4; ++s) {
+          (rng.NextBool(0.5) ? a : b).push_back(SiteId(s));
+        }
+      } while (a.empty() || b.empty());
+      (void)cluster.Partition({a, b});
+      cluster.kernel().Schedule(c.flap_period_us, flap);
+    };
+    cluster.kernel().Schedule(c.flap_period_us, flap);
+  }
+  // Crash every remote site mid-run; site 0 must still decide everything.
+  if (c.crash_remotes) {
+    cluster.kernel().ScheduleAt(300'000, [&cluster]() {
+      for (uint32_t s = 1; s < 4; ++s) cluster.CrashSite(SiteId(s));
+    });
+  }
+
+  // Stream of demanding transactions at site 0 (many force gathering).
+  uint64_t decided = 0, submitted = 0;
+  SimTime max_latency = 0;
+  for (int i = 0; i < 60; ++i) {
+    TxnSpec spec;
+    core::Value amount = rng.NextInt(1, 80);  // often exceeds the fragment
+    spec.ops = {rng.NextBool(0.7) ? TxnOp::Decrement(item, amount)
+                                  : TxnOp::Increment(item, amount)};
+    ++submitted;
+    auto ok = cluster.Submit(SiteId(0), spec,
+                             [&](const txn::TxnResult& r) {
+                               ++decided;
+                               max_latency = std::max(max_latency,
+                                                      r.latency_us);
+                             });
+    ASSERT_TRUE(ok.ok());
+    cluster.RunFor(rng.NextInt(5'000, 50'000));
+  }
+  cluster.RunFor(kBound + 100'000);  // every pending timeout has fired
+
+  EXPECT_EQ(decided, submitted) << "a transaction never decided: blocking!";
+  EXPECT_LE(max_latency, kBound)
+      << "a decision exceeded the §5 bound of timeout + local work";
+  EXPECT_TRUE(cluster.AuditAll().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, NonBlockingTest,
+    ::testing::Values(NbCase{1, 0.0, 0, false},        // healthy
+                      NbCase{2, 0.5, 0, false},        // half the packets die
+                      NbCase{3, 1.0, 0, false},        // total silence
+                      NbCase{4, 0.0, 50'000, false},   // fast flapping
+                      NbCase{5, 0.2, 120'000, false},  // lossy + flapping
+                      NbCase{6, 0.0, 0, true},         // all remotes crash
+                      NbCase{7, 0.3, 80'000, true}));  // everything at once
+
+}  // namespace
+}  // namespace dvp

@@ -1,0 +1,174 @@
+// Unit and property tests for the deterministic RNG stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dvp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng a(0), b(0);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), 0u);  // overwhelmingly likely
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  Rng f1_again = Rng(7).Fork(1);
+  EXPECT_EQ(f1.NextU64(), f1_again.NextU64());
+  EXPECT_NE(f1.NextU64(), f2.NextU64());
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(9);
+  int trues = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) trues += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(trues) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextExponential(50.0);
+  EXPECT_NEAR(sum / kDraws, 50.0, 1.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.02);
+}
+
+// ---- Zipf ---------------------------------------------------------------------
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(1);
+  ZipfGenerator zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+struct ZipfCase {
+  uint64_t n;
+  double theta;
+};
+
+class ZipfDistributionTest : public ::testing::TestWithParam<ZipfCase> {};
+
+TEST_P(ZipfDistributionTest, MatchesAnalyticFrequencies) {
+  const ZipfCase& c = GetParam();
+  Rng rng(23);
+  ZipfGenerator zipf(c.n, c.theta);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(rng)];
+
+  double norm = 0;
+  for (uint64_t k = 0; k < c.n; ++k) norm += 1.0 / std::pow(double(k + 1), c.theta);
+  for (uint64_t k = 0; k < std::min<uint64_t>(c.n, 4); ++k) {
+    double expected = (1.0 / std::pow(double(k + 1), c.theta)) / norm;
+    double observed = double(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "rank " << k << " n=" << c.n << " theta=" << c.theta;
+  }
+}
+
+TEST_P(ZipfDistributionTest, StaysInRange) {
+  const ZipfCase& c = GetParam();
+  Rng rng(29);
+  ZipfGenerator zipf(c.n, c.theta);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf.Next(rng), c.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfDistributionTest,
+    ::testing::Values(ZipfCase{4, 0.5}, ZipfCase{4, 0.99}, ZipfCase{4, 1.4},
+                      ZipfCase{16, 0.8}, ZipfCase{16, 2.0},
+                      ZipfCase{1000, 0.99}, ZipfCase{1, 1.0}));
+
+TEST(SampleWeightedTest, RespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[SampleWeighted(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace dvp

@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// cancellation, hooks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace dvp::sim {
+namespace {
+
+TEST(KernelTest, StartsAtTimeZeroIdle) {
+  Kernel kernel;
+  EXPECT_EQ(kernel.Now(), 0);
+  EXPECT_TRUE(kernel.Idle());
+  EXPECT_FALSE(kernel.Step());
+}
+
+TEST(KernelTest, RunsEventsInTimeOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.Schedule(30, [&]() { order.push_back(3); });
+  kernel.Schedule(10, [&]() { order.push_back(1); });
+  kernel.Schedule(20, [&]() { order.push_back(2); });
+  kernel.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.Now(), 30);
+}
+
+TEST(KernelTest, EqualTimesRunFifo) {
+  Kernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    kernel.Schedule(5, [&order, i]() { order.push_back(i); });
+  }
+  kernel.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(KernelTest, EventsMayScheduleMoreEvents) {
+  Kernel kernel;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) kernel.Schedule(10, chain);
+  };
+  kernel.Schedule(10, chain);
+  kernel.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(kernel.Now(), 50);
+}
+
+TEST(KernelTest, RunUntilStopsAtHorizon) {
+  Kernel kernel;
+  int fired = 0;
+  kernel.Schedule(10, [&]() { ++fired; });
+  kernel.Schedule(100, [&]() { ++fired; });
+  uint64_t executed = kernel.Run(50);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(kernel.Now(), 50);  // clock advances to the horizon
+  kernel.Run(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(KernelTest, CancelPreventsExecution) {
+  Kernel kernel;
+  bool fired = false;
+  EventHandle handle = kernel.Schedule(10, [&]() { fired = true; });
+  EXPECT_TRUE(handle.valid());
+  handle.Cancel();
+  EXPECT_TRUE(handle.cancelled());
+  kernel.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(KernelTest, CancelAfterFireIsHarmless) {
+  Kernel kernel;
+  bool fired = false;
+  EventHandle handle = kernel.Schedule(10, [&]() { fired = true; });
+  kernel.Run();
+  EXPECT_TRUE(fired);
+  handle.Cancel();  // no crash, no effect
+}
+
+TEST(KernelTest, CancelledEventsDoNotAdvanceClockOnRun) {
+  Kernel kernel;
+  EventHandle h = kernel.Schedule(100, []() {});
+  bool fired = false;
+  kernel.Schedule(10, [&]() { fired = true; });
+  h.Cancel();
+  kernel.Run(kSimTimeMax);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(kernel.Now(), 10);
+}
+
+TEST(KernelTest, StepExecutesExactlyOne) {
+  Kernel kernel;
+  int fired = 0;
+  kernel.Schedule(1, [&]() { ++fired; });
+  kernel.Schedule(2, [&]() { ++fired; });
+  EXPECT_TRUE(kernel.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(kernel.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(kernel.Step());
+}
+
+TEST(KernelTest, PostEventHookRunsAfterEachEvent) {
+  Kernel kernel;
+  int hooks = 0;
+  kernel.set_post_event_hook([&]() { ++hooks; });
+  kernel.Schedule(1, []() {});
+  kernel.Schedule(2, []() {});
+  kernel.Run();
+  EXPECT_EQ(hooks, 2);
+}
+
+TEST(KernelTest, EventsExecutedCounts) {
+  Kernel kernel;
+  for (int i = 0; i < 7; ++i) kernel.Schedule(i, []() {});
+  kernel.Run();
+  EXPECT_EQ(kernel.events_executed(), 7u);
+}
+
+TEST(KernelTest, PendingEventsReflectsQueue) {
+  Kernel kernel;
+  kernel.Schedule(1, []() {});
+  kernel.Schedule(2, []() {});
+  EXPECT_EQ(kernel.PendingEvents(), 2u);
+  kernel.Run();
+  EXPECT_EQ(kernel.PendingEvents(), 0u);
+}
+
+TEST(KernelTest, ScheduleAtAbsoluteTime) {
+  Kernel kernel;
+  SimTime seen = -1;
+  kernel.ScheduleAt(123, [&]() { seen = kernel.Now(); });
+  kernel.Run();
+  EXPECT_EQ(seen, 123);
+}
+
+}  // namespace
+}  // namespace dvp::sim

@@ -1,0 +1,219 @@
+// Tests for the verification tooling itself: the conservation auditor and
+// the serializability checker must not only pass correct histories — they
+// must *fail* doctored ones (a checker that can't detect violations proves
+// nothing).
+#include <gtest/gtest.h>
+
+#include "system/cluster.h"
+#include "verify/conservation.h"
+#include "verify/serializability.h"
+
+namespace dvp {
+namespace {
+
+using core::CountDomain;
+using txn::TxnOp;
+using txn::TxnResult;
+using txn::TxnSpec;
+using verify::HistoryChecker;
+
+// ---- Conservation auditor ------------------------------------------------------
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest() {
+    item_ = catalog_.AddItem("pool", CountDomain::Instance(), 100);
+    system::ClusterOptions opts;
+    opts.num_sites = 2;
+    opts.seed = 5;
+    cluster_ = std::make_unique<system::Cluster>(&catalog_, opts);
+    cluster_->BootstrapEven();
+  }
+
+  core::Catalog catalog_;
+  ItemId item_;
+  std::unique_ptr<system::Cluster> cluster_;
+};
+
+TEST_F(AuditorTest, BreakdownSeparatesFragmentsAndInFlight) {
+  ASSERT_TRUE(cluster_->Partition({{SiteId(0)}, {SiteId(1)}}).ok());
+  ASSERT_TRUE(cluster_->site(SiteId(0)).SendValue(SiteId(1), item_, 12).ok());
+  auto b = cluster_->Audit(item_);
+  EXPECT_EQ(b.site_total, 88);
+  EXPECT_EQ(b.in_flight, 12);
+  EXPECT_EQ(b.live_vms, 1u);
+  EXPECT_EQ(b.committed_delta, 0);
+  EXPECT_EQ(b.total(), 100);
+}
+
+TEST_F(AuditorTest, CommittedDeltaTracked) {
+  TxnSpec spec;
+  spec.ops = {TxnOp::Decrement(item_, 30)};
+  bool done = false;
+  ASSERT_TRUE(cluster_
+                  ->Submit(SiteId(0), spec,
+                           [&](const TxnResult& r) {
+                             done = r.committed();
+                           })
+                  .ok());
+  cluster_->RunFor(1'000'000);
+  ASSERT_TRUE(done);
+  auto b = cluster_->Audit(item_);
+  EXPECT_EQ(b.committed_delta, -30);
+  EXPECT_EQ(b.total(), 70);
+  EXPECT_TRUE(cluster_->AuditAll().ok());
+}
+
+TEST_F(AuditorTest, DetectsDoctoredValueLoss) {
+  // Forge a commit record that claims to have destroyed 10 units without a
+  // matching delta — the auditor must notice.
+  wal::TxnCommitRec forged;
+  forged.txn = TxnId(999999);
+  forged.ts_packed = Timestamp(500, SiteId(0)).packed();
+  // Fragment drops by 10 but delta says 0: value vanished.
+  forged.writes = {wal::FragmentWrite{item_, 40, 0, 0}};
+  cluster_->storage(SiteId(0)).Append(wal::LogRecord(forged));
+  Status audit = cluster_->AuditAll();
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.code(), StatusCode::kInternal);
+}
+
+TEST_F(AuditorTest, DetectsDoctoredDuplication) {
+  // Forge an acceptance for a Vm that was never created: value from nowhere.
+  wal::VmAcceptRec forged;
+  forged.vm = VmId(123456789);
+  forged.src = SiteId(0);
+  forged.item = item_;
+  forged.amount = 25;
+  forged.write = wal::FragmentWrite{item_, 75, 25, 0};
+  cluster_->storage(SiteId(1)).Append(wal::LogRecord(forged));
+  EXPECT_FALSE(cluster_->AuditAll().ok());
+}
+
+// ---- HistoryChecker -------------------------------------------------------------
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() : item_(catalog_.AddItem("x", CountDomain::Instance(), 100)) {}
+
+  TxnResult Committed(std::map<ItemId, core::Value> reads = {}) {
+    TxnResult r;
+    r.outcome = txn::TxnOutcome::kCommitted;
+    r.read_values = std::move(reads);
+    return r;
+  }
+
+  TxnSpec Dec(core::Value m) {
+    TxnSpec s;
+    s.ops = {TxnOp::Decrement(item_, m)};
+    return s;
+  }
+  TxnSpec Inc(core::Value m) {
+    TxnSpec s;
+    s.ops = {TxnOp::Increment(item_, m)};
+    return s;
+  }
+  TxnSpec Read() {
+    TxnSpec s;
+    s.ops = {TxnOp::ReadFull(item_)};
+    return s;
+  }
+
+  TxnId Ts(uint64_t counter) {
+    return TxnId(Timestamp(counter, SiteId(0)).packed());
+  }
+
+  core::Catalog catalog_;
+  ItemId item_;
+};
+
+TEST_F(CheckerTest, AcceptsValidTimestampHistory) {
+  HistoryChecker checker(&catalog_);
+  checker.RecordCommit(Ts(1), Dec(40), Committed());
+  checker.RecordCommit(Ts(2), Inc(10), Committed());
+  checker.RecordCommit(Ts(3), Read(), Committed({{item_, 70}}));
+  std::map<ItemId, core::Value> finals{{item_, 70}};
+  EXPECT_TRUE(
+      checker.Check(HistoryChecker::Order::kTimestamp, &finals).ok());
+}
+
+TEST_F(CheckerTest, RejectsOverdraft) {
+  HistoryChecker checker(&catalog_);
+  checker.RecordCommit(Ts(1), Dec(80), Committed());
+  checker.RecordCommit(Ts(2), Dec(80), Committed());  // impossible
+  Status s = checker.Check(HistoryChecker::Order::kTimestamp, nullptr);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not applicable"), std::string::npos);
+}
+
+TEST_F(CheckerTest, RejectsWrongReadValue) {
+  HistoryChecker checker(&catalog_);
+  checker.RecordCommit(Ts(1), Dec(40), Committed());
+  checker.RecordCommit(Ts(2), Read(), Committed({{item_, 99}}));  // lies
+  EXPECT_FALSE(
+      checker.Check(HistoryChecker::Order::kTimestamp, nullptr).ok());
+}
+
+TEST_F(CheckerTest, RejectsWrongFinalTotals) {
+  HistoryChecker checker(&catalog_);
+  checker.RecordCommit(Ts(1), Dec(40), Committed());
+  std::map<ItemId, core::Value> finals{{item_, 99}};
+  EXPECT_FALSE(
+      checker.Check(HistoryChecker::Order::kTimestamp, &finals).ok());
+}
+
+TEST_F(CheckerTest, TimestampOrderIsNotRecordOrder) {
+  HistoryChecker checker(&catalog_);
+  // Recorded out of timestamp order; replay must sort by TS(t).
+  checker.RecordCommit(Ts(2), Dec(100), Committed());
+  checker.RecordCommit(Ts(1), Inc(50), Committed());
+  std::map<ItemId, core::Value> finals{{item_, 50}};
+  EXPECT_TRUE(
+      checker.Check(HistoryChecker::Order::kTimestamp, &finals).ok());
+}
+
+TEST_F(CheckerTest, WindowedReadAcceptsAnyConsistentPlacement) {
+  HistoryChecker checker(&catalog_);
+  TxnResult dec = Committed();
+  // Read starts at t=0, commits at t=100; a decrement of 30 commits at t=50.
+  // Either 100 or 70 is a consistent read value.
+  TxnResult read70 = Committed({{item_, 70}});
+  read70.latency_us = 100;
+  checker.RecordCommitAt(50, Ts(2), Dec(30), dec);
+  checker.RecordCommitAt(100, Ts(1), Read(), read70);
+  EXPECT_TRUE(
+      checker.Check(HistoryChecker::Order::kCommitOrder, nullptr).ok());
+
+  HistoryChecker checker2(&catalog_);
+  TxnResult read100 = Committed({{item_, 100}});
+  read100.latency_us = 100;
+  checker2.RecordCommitAt(50, Ts(2), Dec(30), dec);
+  checker2.RecordCommitAt(100, Ts(1), Read(), read100);
+  EXPECT_TRUE(
+      checker2.Check(HistoryChecker::Order::kCommitOrder, nullptr).ok());
+}
+
+TEST_F(CheckerTest, WindowedReadRejectsImpossibleValue) {
+  HistoryChecker checker(&catalog_);
+  TxnResult read = Committed({{item_, 85}});  // 100-30 or 100, never 85
+  read.latency_us = 100;
+  checker.RecordCommitAt(50, Ts(2), Dec(30), Committed());
+  checker.RecordCommitAt(100, Ts(1), Read(), read);
+  Status s = checker.Check(HistoryChecker::Order::kCommitOrder, nullptr);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unreachable"), std::string::npos);
+}
+
+TEST_F(CheckerTest, WindowedReadMustIncludePriorCommits) {
+  HistoryChecker checker(&catalog_);
+  // Decrement committed BEFORE the read started: it must be visible.
+  TxnResult read = Committed({{item_, 100}});  // claims not to see it
+  read.latency_us = 10;  // started at 90
+  checker.RecordCommitAt(50, Ts(2), Dec(30), Committed());
+  checker.RecordCommitAt(100, Ts(1), Read(), read);
+  EXPECT_FALSE(
+      checker.Check(HistoryChecker::Order::kCommitOrder, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dvp
