@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conc.dir/bench_conc.cpp.o"
+  "CMakeFiles/bench_conc.dir/bench_conc.cpp.o.d"
+  "bench_conc"
+  "bench_conc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

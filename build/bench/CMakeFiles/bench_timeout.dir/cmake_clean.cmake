@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeout.dir/bench_timeout.cpp.o"
+  "CMakeFiles/bench_timeout.dir/bench_timeout.cpp.o.d"
+  "bench_timeout"
+  "bench_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("wal")
+subdirs("dvpcore")
+subdirs("vm")
+subdirs("cc")
+subdirs("txn")
+subdirs("recovery")
+subdirs("site")
+subdirs("system")
+subdirs("verify")
+subdirs("baseline")
+subdirs("workload")

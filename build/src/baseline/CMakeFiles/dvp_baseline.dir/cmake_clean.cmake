@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_baseline.dir/escrow.cc.o"
+  "CMakeFiles/dvp_baseline.dir/escrow.cc.o.d"
+  "CMakeFiles/dvp_baseline.dir/primary_copy.cc.o"
+  "CMakeFiles/dvp_baseline.dir/primary_copy.cc.o.d"
+  "CMakeFiles/dvp_baseline.dir/twopc.cc.o"
+  "CMakeFiles/dvp_baseline.dir/twopc.cc.o.d"
+  "libdvp_baseline.a"
+  "libdvp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/dvp_cc.dir/lock_manager.cc.o.d"
+  "libdvp_cc.a"
+  "libdvp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

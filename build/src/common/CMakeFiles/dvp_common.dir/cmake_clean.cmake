@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_common.dir/histogram.cc.o"
+  "CMakeFiles/dvp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dvp_common.dir/rng.cc.o"
+  "CMakeFiles/dvp_common.dir/rng.cc.o.d"
+  "CMakeFiles/dvp_common.dir/status.cc.o"
+  "CMakeFiles/dvp_common.dir/status.cc.o.d"
+  "libdvp_common.a"
+  "libdvp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvpcore/catalog.cc" "src/dvpcore/CMakeFiles/dvp_core.dir/catalog.cc.o" "gcc" "src/dvpcore/CMakeFiles/dvp_core.dir/catalog.cc.o.d"
+  "/root/repo/src/dvpcore/domain.cc" "src/dvpcore/CMakeFiles/dvp_core.dir/domain.cc.o" "gcc" "src/dvpcore/CMakeFiles/dvp_core.dir/domain.cc.o.d"
+  "/root/repo/src/dvpcore/operators.cc" "src/dvpcore/CMakeFiles/dvp_core.dir/operators.cc.o" "gcc" "src/dvpcore/CMakeFiles/dvp_core.dir/operators.cc.o.d"
+  "/root/repo/src/dvpcore/value_store.cc" "src/dvpcore/CMakeFiles/dvp_core.dir/value_store.cc.o" "gcc" "src/dvpcore/CMakeFiles/dvp_core.dir/value_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

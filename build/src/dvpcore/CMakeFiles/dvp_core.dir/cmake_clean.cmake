@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_core.dir/catalog.cc.o"
+  "CMakeFiles/dvp_core.dir/catalog.cc.o.d"
+  "CMakeFiles/dvp_core.dir/domain.cc.o"
+  "CMakeFiles/dvp_core.dir/domain.cc.o.d"
+  "CMakeFiles/dvp_core.dir/operators.cc.o"
+  "CMakeFiles/dvp_core.dir/operators.cc.o.d"
+  "CMakeFiles/dvp_core.dir/value_store.cc.o"
+  "CMakeFiles/dvp_core.dir/value_store.cc.o.d"
+  "libdvp_core.a"
+  "libdvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

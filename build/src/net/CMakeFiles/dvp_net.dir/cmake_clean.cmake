@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_net.dir/network.cc.o"
+  "CMakeFiles/dvp_net.dir/network.cc.o.d"
+  "CMakeFiles/dvp_net.dir/partition.cc.o"
+  "CMakeFiles/dvp_net.dir/partition.cc.o.d"
+  "CMakeFiles/dvp_net.dir/transport.cc.o"
+  "CMakeFiles/dvp_net.dir/transport.cc.o.d"
+  "libdvp_net.a"
+  "libdvp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvp_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_recovery.dir/recovery.cc.o"
+  "CMakeFiles/dvp_recovery.dir/recovery.cc.o.d"
+  "libdvp_recovery.a"
+  "libdvp_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

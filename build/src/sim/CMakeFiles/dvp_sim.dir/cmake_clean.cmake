@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_sim.dir/kernel.cc.o"
+  "CMakeFiles/dvp_sim.dir/kernel.cc.o.d"
+  "libdvp_sim.a"
+  "libdvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

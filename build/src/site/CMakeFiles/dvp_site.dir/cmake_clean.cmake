@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_site.dir/site.cc.o"
+  "CMakeFiles/dvp_site.dir/site.cc.o.d"
+  "libdvp_site.a"
+  "libdvp_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_system.dir/cluster.cc.o"
+  "CMakeFiles/dvp_system.dir/cluster.cc.o.d"
+  "CMakeFiles/dvp_system.dir/hybrid.cc.o"
+  "CMakeFiles/dvp_system.dir/hybrid.cc.o.d"
+  "CMakeFiles/dvp_system.dir/retry_client.cc.o"
+  "CMakeFiles/dvp_system.dir/retry_client.cc.o.d"
+  "libdvp_system.a"
+  "libdvp_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/txn_manager.cc" "src/txn/CMakeFiles/dvp_txn.dir/txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/dvp_txn.dir/txn_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvpcore/CMakeFiles/dvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/dvp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dvp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/dvp_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

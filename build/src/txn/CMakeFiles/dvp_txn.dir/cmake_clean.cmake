@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/dvp_txn.dir/txn_manager.cc.o.d"
+  "libdvp_txn.a"
+  "libdvp_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

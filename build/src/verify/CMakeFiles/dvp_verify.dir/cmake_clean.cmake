@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_verify.dir/conservation.cc.o"
+  "CMakeFiles/dvp_verify.dir/conservation.cc.o.d"
+  "CMakeFiles/dvp_verify.dir/serializability.cc.o"
+  "CMakeFiles/dvp_verify.dir/serializability.cc.o.d"
+  "libdvp_verify.a"
+  "libdvp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

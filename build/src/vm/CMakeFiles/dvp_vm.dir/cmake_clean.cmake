@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_vm.dir/vm_manager.cc.o"
+  "CMakeFiles/dvp_vm.dir/vm_manager.cc.o.d"
+  "libdvp_vm.a"
+  "libdvp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/encoding.cc" "src/wal/CMakeFiles/dvp_wal.dir/encoding.cc.o" "gcc" "src/wal/CMakeFiles/dvp_wal.dir/encoding.cc.o.d"
+  "/root/repo/src/wal/record.cc" "src/wal/CMakeFiles/dvp_wal.dir/record.cc.o" "gcc" "src/wal/CMakeFiles/dvp_wal.dir/record.cc.o.d"
+  "/root/repo/src/wal/stable_storage.cc" "src/wal/CMakeFiles/dvp_wal.dir/stable_storage.cc.o" "gcc" "src/wal/CMakeFiles/dvp_wal.dir/stable_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

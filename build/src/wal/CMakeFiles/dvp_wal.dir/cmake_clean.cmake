@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_wal.dir/encoding.cc.o"
+  "CMakeFiles/dvp_wal.dir/encoding.cc.o.d"
+  "CMakeFiles/dvp_wal.dir/record.cc.o"
+  "CMakeFiles/dvp_wal.dir/record.cc.o.d"
+  "CMakeFiles/dvp_wal.dir/stable_storage.cc.o"
+  "CMakeFiles/dvp_wal.dir/stable_storage.cc.o.d"
+  "libdvp_wal.a"
+  "libdvp_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

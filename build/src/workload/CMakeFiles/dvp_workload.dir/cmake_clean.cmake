@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_workload.dir/generator.cc.o"
+  "CMakeFiles/dvp_workload.dir/generator.cc.o.d"
+  "libdvp_workload.a"
+  "libdvp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

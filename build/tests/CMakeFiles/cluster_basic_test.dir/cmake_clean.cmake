@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_basic_test.dir/cluster_basic_test.cpp.o"
+  "CMakeFiles/cluster_basic_test.dir/cluster_basic_test.cpp.o.d"
+  "cluster_basic_test"
+  "cluster_basic_test.pdb"
+  "cluster_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

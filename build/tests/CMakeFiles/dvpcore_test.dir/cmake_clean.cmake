@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvpcore_test.dir/dvpcore_test.cpp.o"
+  "CMakeFiles/dvpcore_test.dir/dvpcore_test.cpp.o.d"
+  "dvpcore_test"
+  "dvpcore_test.pdb"
+  "dvpcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvpcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_cc_test.dir/lock_cc_test.cpp.o"
+  "CMakeFiles/lock_cc_test.dir/lock_cc_test.cpp.o.d"
+  "lock_cc_test"
+  "lock_cc_test.pdb"
+  "lock_cc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonblocking_property_test.dir/nonblocking_property_test.cpp.o"
+  "CMakeFiles/nonblocking_property_test.dir/nonblocking_property_test.cpp.o.d"
+  "nonblocking_property_test"
+  "nonblocking_property_test.pdb"
+  "nonblocking_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonblocking_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_protocol_test.dir/read_protocol_test.cpp.o"
+  "CMakeFiles/read_protocol_test.dir/read_protocol_test.cpp.o.d"
+  "read_protocol_test"
+  "read_protocol_test.pdb"
+  "read_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serializability_property_test.cpp" "tests/CMakeFiles/serializability_property_test.dir/serializability_property_test.cpp.o" "gcc" "tests/CMakeFiles/serializability_property_test.dir/serializability_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/dvp_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dvp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dvp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/dvp_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/dvp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/dvp_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dvp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dvp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvpcore/CMakeFiles/dvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/dvp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/dvp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializability_property_test.dir/serializability_property_test.cpp.o"
+  "CMakeFiles/serializability_property_test.dir/serializability_property_test.cpp.o.d"
+  "serializability_property_test"
+  "serializability_property_test.pdb"
+  "serializability_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_protocol_test.dir/txn_protocol_test.cpp.o"
+  "CMakeFiles/txn_protocol_test.dir/txn_protocol_test.cpp.o.d"
+  "txn_protocol_test"
+  "txn_protocol_test.pdb"
+  "txn_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
