@@ -8,12 +8,26 @@
 namespace dvp {
 
 void Histogram::Add(double v) {
+  if (samples_.empty()) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
   samples_.push_back(v);
   sum_ += v;
   sorted_ = false;
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sum_ += other.sum_;
@@ -23,21 +37,13 @@ void Histogram::Merge(const Histogram& other) {
 void Histogram::Clear() {
   samples_.clear();
   sum_ = 0;
+  min_ = 0;
+  max_ = 0;
   sorted_ = true;
 }
 
 double Histogram::mean() const {
   return samples_.empty() ? 0.0 : sum_ / double(samples_.size());
-}
-
-double Histogram::min() const {
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double Histogram::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::Percentile(double q) const {

@@ -21,8 +21,10 @@ class Histogram {
   size_t count() const { return samples_.size(); }
   double sum() const { return sum_; }
   double mean() const;
-  double min() const;
-  double max() const;
+  /// Running extrema maintained by Add/Merge — O(1), safe to call from
+  /// per-row report loops (0 when empty).
+  double min() const { return samples_.empty() ? 0.0 : min_; }
+  double max() const { return samples_.empty() ? 0.0 : max_; }
   /// Exact quantile by sorting on demand (q in [0,1]).
   double Percentile(double q) const;
   double Median() const { return Percentile(0.5); }
@@ -36,6 +38,8 @@ class Histogram {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 /// Named monotonically increasing counters, used for per-run metrics such as

@@ -42,6 +42,12 @@ struct Packet {
   uint64_t epoch = 0;
   /// Per (src,dst,epoch) sequence number; meaningful for reliable packets.
   MsgSeq seq;
+  /// Lowest seq still unacknowledged at the sender for this channel
+  /// (TCP's snd_una). Everything below it was completed — consumed by some
+  /// incarnation of the receiver or cancelled above the transport — and will
+  /// never be retransmitted, so a receiver that lost its channel state (crash)
+  /// fast-forwards its cumulative counter past the gap instead of stalling.
+  uint64_t seq_base = 0;
 
   /// Piggybacked cumulative ack for the reverse channel: "all messages up to
   /// and including ack_cum in ack_epoch have been received and processed

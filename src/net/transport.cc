@@ -1,76 +1,310 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dvp::net {
 
+namespace {
+
+/// SplitMix64 finaliser: deterministic jitter without consuming RNG streams
+/// (the transport must not perturb the workload's random sequences).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Transport::Transport(sim::Kernel* kernel, Network* network, SiteId self,
-                     Options options)
-    : kernel_(kernel), network_(network), self_(self), options_(options) {}
+                     CounterSet* counters, Options options)
+    : kernel_(kernel),
+      network_(network),
+      self_(self),
+      counters_(counters),
+      options_(options) {}
+
+Transport::~Transport() { *alive_ = false; }
+
+size_t Transport::dedup_entries() const {
+  size_t n = 0;
+  for (const auto& [peer, pi] : in_) {
+    (void)peer;
+    n += pi.above.size();
+  }
+  return n;
+}
+
+void Transport::NoteDedupSize() {
+  dedup_peak_ = std::max(dedup_peak_, dedup_entries());
+}
+
+void Transport::AttachAck(Packet* p) {
+  auto it = in_.find(p->dst);
+  if (it == in_.end()) return;
+  PeerIn& pi = it->second;
+  p->has_ack = true;
+  p->ack_epoch = pi.epoch;
+  p->ack_cum = pi.cum;
+  if (pi.ack_owed) {
+    pi.ack_owed = false;  // this packet is the ack; the pure-ack timer yields
+    ++piggyback_acks_;
+    if (counters_) counters_->Inc("transport.ack_piggyback");
+  }
+}
+
+void Transport::SendPacket(SiteId dst, uint64_t seq,
+                           const EnvelopePtr& payload) {
+  Packet p;
+  p.src = self_;
+  p.dst = dst;
+  p.reliability = Reliability::kReliable;
+  p.epoch = epoch_;
+  p.seq = MsgSeq(seq);
+  auto po = out_.find(dst);
+  if (po != out_.end() && !po->second.pending.empty()) {
+    p.seq_base = po->second.pending.begin()->first;
+  }
+  p.payload = payload;
+  AttachAck(&p);
+  network_->Send(std::move(p));
+}
 
 void Transport::SendDatagram(SiteId dst, EnvelopePtr payload) {
   Packet p;
   p.src = self_;
   p.dst = dst;
   p.reliability = Reliability::kDatagram;
-  p.seq = MsgSeq(next_seq_++);
+  p.epoch = epoch_;
   p.payload = std::move(payload);
+  AttachAck(&p);
   network_->Send(std::move(p));
 }
 
 void Transport::SendReliable(SiteId dst, uint64_t token,
                              EnvelopePtr payload) {
-  Packet p;
-  p.src = self_;
-  p.dst = dst;
-  p.reliability = Reliability::kReliable;
-  p.seq = MsgSeq(next_seq_++);
-  p.payload = payload;
-  network_->Send(std::move(p));
-  pending_[token] = PendingSend{dst, std::move(payload)};
+  if (token_index_.contains(token)) {
+    // A silent overwrite here would orphan the first payload (its pending
+    // entry — and with it the retransmission guarantee — would vanish).
+    // Token reuse means the id space above us collapsed; refuse to run on.
+    std::fprintf(stderr,
+                 "Transport::SendReliable: token %llu is already a live "
+                 "reliable send at site %u — caller reused an id\n",
+                 static_cast<unsigned long long>(token), self_.value());
+    std::abort();
+  }
+  PeerOut& po = out_[dst];
+  uint64_t seq = po.next_seq++;
+  token_index_.emplace(token, std::make_pair(dst, seq));
+  po.pending.emplace(seq, PendingSend{token, payload, /*sends=*/1});
+  if (po.pending.size() == 1) {
+    po.next_due = kernel_->Now() + JitteredInterval(dst, po);
+  }
+  SendPacket(dst, seq, payload);
   ArmTimer();
 }
 
-void Transport::CancelReliable(uint64_t token) { pending_.erase(token); }
+void Transport::CancelReliable(uint64_t token) {
+  auto it = token_index_.find(token);
+  if (it == token_index_.end()) return;
+  auto [dst, seq] = it->second;
+  token_index_.erase(it);
+  auto po = out_.find(dst);
+  if (po != out_.end()) po->second.pending.erase(seq);
+}
 
 void Transport::Broadcast(EnvelopePtr payload) {
   network_->Broadcast(self_, std::move(payload));
 }
 
+void Transport::ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum) {
+  if (ack_epoch != epoch_) return;  // ack for a previous incarnation of us
+  auto it = out_.find(from);
+  if (it == out_.end()) return;
+  PeerOut& po = it->second;
+  // Evidence the peer is reachable again: restart the backoff schedule.
+  po.backoff_exp = 0;
+  std::vector<uint64_t> completed;
+  while (!po.pending.empty() && po.pending.begin()->first <= ack_cum) {
+    completed.push_back(po.pending.begin()->second.token);
+    token_index_.erase(po.pending.begin()->second.token);
+    po.pending.erase(po.pending.begin());
+  }
+  if (!completed.empty() && !po.pending.empty()) {
+    po.next_due = kernel_->Now() + JitteredInterval(from, po);
+  }
+  for (uint64_t token : completed) {
+    if (ack_fn_) ack_fn_(token);
+  }
+}
+
+void Transport::OweAck(SiteId src) {
+  PeerIn& pi = in_[src];
+  if (pi.ack_owed) return;  // pure ack already armed
+  pi.ack_owed = true;
+  uint64_t gen = generation_;
+  kernel_->Schedule(options_.ack_delay_us,
+                    [this, gen, src, alive = alive_]() {
+    if (!*alive || gen != generation_) return;
+    auto it = in_.find(src);
+    if (it == in_.end() || !it->second.ack_owed) return;  // piggybacked since
+    it->second.ack_owed = false;
+    Packet p;
+    p.src = self_;
+    p.dst = src;
+    p.reliability = Reliability::kDatagram;
+    p.epoch = epoch_;
+    p.has_ack = true;
+    p.ack_epoch = it->second.epoch;
+    p.ack_cum = it->second.cum;
+    ++pure_acks_;
+    if (counters_) counters_->Inc("transport.ack_pure");
+    network_->Send(std::move(p));
+  });
+}
+
 void Transport::OnPacket(const Packet& packet) {
-  if (!packet.payload) return;  // pure-ack packets carry no payload
-  if (deliver_fn_) deliver_fn_(packet.src, packet.payload);
+  if (packet.has_ack) ProcessAck(packet.src, packet.ack_epoch, packet.ack_cum);
+  if (!packet.payload) return;  // pure ack
+
+  if (packet.reliability != Reliability::kReliable) {
+    if (deliver_fn_) deliver_fn_(packet.src, packet.payload);
+    return;
+  }
+
+  PeerIn& pi = in_[packet.src];
+  if (packet.epoch < pi.epoch) {
+    // A packet from the sender's previous life; its numbering is void and
+    // anything it carried was re-driven from the sender's log.
+    if (counters_) counters_->Inc("transport.stale_epoch_drop");
+    return;
+  }
+  if (packet.epoch > pi.epoch) {
+    pi = PeerIn{};  // reborn sender: fresh channel
+    pi.epoch = packet.epoch;
+  }
+
+  if (packet.seq_base > pi.cum + 1) {
+    // The sender has completed everything below seq_base (a previous
+    // incarnation of us consumed it, or it was cancelled above the
+    // transport) and will never retransmit it. Without the fast-forward a
+    // reborn receiver's cumulative counter would stall below the gap forever
+    // and no later send on this channel could ever be cum-acked.
+    pi.cum = packet.seq_base - 1;
+    while (!pi.above.empty() && *pi.above.begin() <= pi.cum) {
+      pi.above.erase(pi.above.begin());
+    }
+    while (pi.above.contains(pi.cum + 1)) {
+      pi.above.erase(pi.cum + 1);
+      ++pi.cum;
+    }
+    if (counters_) counters_->Inc("transport.cum_fastforward");
+  }
+
+  uint64_t seq = packet.seq.value();
+  if (seq <= pi.cum || pi.above.contains(seq)) {
+    ++dup_drops_;
+    if (counters_) counters_->Inc("transport.dup_drop");
+    OweAck(packet.src);  // the sender evidently missed our ack; re-ack
+    return;
+  }
+  if (seq > pi.cum + options_.recv_window) {
+    // Beyond the receive window: recording it would unbound the dedup set.
+    // Drop without acking; the sender's backoff re-offers it later.
+    if (counters_) counters_->Inc("transport.window_drop");
+    return;
+  }
+
+  bool consumed = deliver_fn_ && deliver_fn_(packet.src, packet.payload);
+  if (!consumed) return;  // refused (e.g. locked item); retransmission re-offers
+
+  // Note: deliver_fn_ may have re-entered us (the handler sends acks or new
+  // transfers), so re-find the channel rather than trusting `pi`.
+  PeerIn& pin = in_[packet.src];
+  if (packet.epoch != pin.epoch) return;  // channel reset mid-delivery
+  pin.above.insert(seq);
+  while (pin.above.contains(pin.cum + 1)) {
+    pin.above.erase(pin.cum + 1);
+    ++pin.cum;
+  }
+  NoteDedupSize();
+  OweAck(packet.src);
 }
 
 void Transport::Crash() {
-  pending_.clear();
-  // Invalidate any armed timer: its generation check will fail.
+  out_.clear();
+  in_.clear();
+  token_index_.clear();
+  // Invalidate any armed timer: its generation check will fail. The owner
+  // assigns a fresh epoch (from the stable incarnation) before reuse.
   ++generation_;
   timer_armed_ = false;
 }
 
+SimTime Transport::IntervalFor(const PeerOut& po) const {
+  // Exponential backoff, capped (the "retransmission cap"): shifts beyond
+  // the cap would overflow and an unreachable peer needs no finer schedule.
+  uint32_t exp = std::min(po.backoff_exp, uint32_t{30});
+  SimTime interval = options_.rto_us << exp;
+  if (interval <= 0 || interval > options_.rto_max_us) {
+    interval = options_.rto_max_us;
+  }
+  return interval;
+}
+
+SimTime Transport::JitteredInterval(SiteId peer, const PeerOut& po) const {
+  SimTime interval = IntervalFor(po);
+  // Deterministic jitter in [0, interval/4): spreads peers' retry rounds so
+  // a heal does not trigger a synchronised burst, without touching any RNG
+  // stream (runs stay a pure function of seed and schedule).
+  uint64_t salt = (uint64_t{self_.value()} << 40) ^
+                  (uint64_t{peer.value()} << 20) ^ po.rounds;
+  return interval + static_cast<SimTime>(Mix(salt) % (interval / 4 + 1));
+}
+
 void Transport::ArmTimer() {
-  if (timer_armed_ || pending_.empty()) return;
+  SimTime due = kSimTimeMax;
+  for (const auto& [peer, po] : out_) {
+    (void)peer;
+    if (!po.pending.empty()) due = std::min(due, po.next_due);
+  }
+  if (due == kSimTimeMax) return;
+  if (timer_armed_ && armed_at_ <= due) return;  // an earlier event covers it
   timer_armed_ = true;
+  armed_at_ = due;
   uint64_t gen = generation_;
-  kernel_->Schedule(options_.rto_us, [this, gen]() {
-    if (gen != generation_) return;  // crashed since; timer is stale
+  kernel_->ScheduleAt(std::max(due, kernel_->Now()),
+                      [this, gen, due, alive = alive_]() {
+    if (!*alive || gen != generation_) return;
+    if (!timer_armed_ || armed_at_ != due) return;  // superseded
     timer_armed_ = false;
     OnTimer();
   });
 }
 
 void Transport::OnTimer() {
-  for (const auto& [token, send] : pending_) {
-    (void)token;
-    Packet p;
-    p.src = self_;
-    p.dst = send.dst;
-    p.reliability = Reliability::kReliable;
-    p.seq = MsgSeq(next_seq_++);
-    p.payload = send.payload;
-    network_->Send(std::move(p));
-    ++retransmissions_;
+  SimTime now = kernel_->Now();
+  for (auto& [peer, po] : out_) {
+    if (po.pending.empty() || po.next_due > now) continue;
+    // Retransmit the oldest unacked burst with their ORIGINAL seqs — the
+    // receiver's dedup window and the Vm layer's logged filter both key on
+    // them, so a retransmission must be indistinguishable from a link dup.
+    uint32_t sent = 0;
+    for (auto& [seq, ps] : po.pending) {
+      if (sent >= options_.retransmit_burst) break;
+      SendPacket(peer, seq, ps.payload);
+      ++ps.sends;
+      ++retransmissions_;
+      if (counters_) counters_->Inc("transport.retransmit");
+      ++sent;
+    }
+    po.backoff_exp = std::min(po.backoff_exp + 1, uint32_t{30});
+    ++po.rounds;
+    po.next_due = now + JitteredInterval(peer, po);
   }
   ArmTimer();
 }

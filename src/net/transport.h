@@ -1,20 +1,39 @@
-// Per-site transport: at-least-once delivery for "crucial" payloads.
+// Per-site transport: the window protocol the paper defers to [Tanenbaum 81]
+// for Vm delivery (§4.2), in crash-aware form.
 //
-// The paper builds Vm on a window protocol with numbered messages and
-// piggybacked cumulative acks (§4.2) and observes that unique per-message
-// identifiers are not essential (§8). We implement the equivalent but
-// crash-proof form: the transport retransmits a reliable payload on a timer
-// until the layer above cancels it (which it does after durably logging the
-// acknowledgement), and *exactly-once* semantics are enforced above us by the
-// Vm layer's logged duplicate detection — volatile sequence numbers cannot
-// survive a crash, logged Vm identifiers can. Requests and acks travel as
-// fire-and-forget datagrams since "their delivery is not critical".
+//  * Per-peer sequence numbers. Each (sender, receiver) channel numbers its
+//    reliable packets independently; retransmissions reuse the original
+//    number, so every duplicate is recognisable downstream.
+//  * Cumulative piggybacked acks. Every outgoing packet to a peer carries
+//    "all reliable seqs <= ack_cum were received and processed safely"; a
+//    delayed pure ack (empty packet) covers quiet reverse channels. When the
+//    sender sees the ack it stops retransmitting and notifies the layer
+//    above (set_ack_fn), which is how the Vm layer learns of acceptance even
+//    when the explicit VmAckMsg datagram is lost.
+//  * Bounded dedup window. The receiver drops reliable packets whose seq is
+//    covered by the cumulative watermark or recorded in the (bounded)
+//    out-of-order set, so the layer above sees each consumed payload once
+//    per sender incarnation. Exactly-once across crashes still lives in the
+//    Vm layer's *logged* duplicate filter — volatile windows cannot survive
+//    a crash, logged Vm identifiers can.
+//  * Epochs. Packets carry the sender's stable-storage incarnation; a reborn
+//    sender starts a fresh channel and stale packets from its previous life
+//    are dropped.
+//  * Per-peer exponential backoff with deterministic jitter and a burst cap
+//    per round, so an unreachable peer costs O(log time) packets instead of
+//    the fixed-RTO retransmission storm.
+//
+// Delivery is consume-aware: the upper layer returns false to refuse a
+// payload (e.g. a Vm transfer deferred because the item is locked, §5); a
+// refused packet is neither acked nor recorded, so retransmission re-offers
+// it until it is consumed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "common/histogram.h"
 #include "common/types.h"
@@ -26,67 +45,145 @@ namespace dvp::net {
 class Transport {
  public:
   struct Options {
-    /// Retransmission interval for unacked reliable payloads.
+    /// Base retransmission interval for unacked reliable payloads.
     SimTime rto_us = 50'000;
+    /// Backoff cap: per-peer retransmission interval never exceeds this.
+    SimTime rto_max_us = 1'600'000;
+    /// Delayed pure-ack fallback: how long the receiver waits for reverse
+    /// traffic to piggyback on before sending an empty ack packet.
+    SimTime ack_delay_us = 10'000;
+    /// At most this many pending payloads are retransmitted to one peer per
+    /// backoff round (kills retransmission storms during partitions).
+    uint32_t retransmit_burst = 8;
+    /// Receive-window width: reliable seqs further than this beyond the
+    /// cumulative watermark are dropped (the sender retries later), which
+    /// bounds the out-of-order dedup set per peer.
+    uint64_t recv_window = 1024;
   };
 
   Transport(sim::Kernel* kernel, Network* network, SiteId self,
-            Options options);
+            CounterSet* counters, Options options);
+  ~Transport();
 
-  /// Fire-and-forget send.
+  /// Fire-and-forget send (carries a piggybacked ack when one is owed).
   void SendDatagram(SiteId dst, EnvelopePtr payload);
 
-  /// Sends `payload` now and keeps retransmitting every rto until
-  /// CancelReliable(token) is called. `token` is chosen by the caller (the Vm
-  /// layer passes the VmId) and must be unique among live reliable sends.
+  /// Sends `payload` now and keeps retransmitting (same seq, exponential
+  /// per-peer backoff) until the peer's cumulative ack covers it or
+  /// CancelReliable(token) is called. `token` is chosen by the caller (the
+  /// Vm layer passes the VmId) and MUST be unique among live reliable sends;
+  /// a collision is a caller bug and aborts loudly.
   void SendReliable(SiteId dst, uint64_t token, EnvelopePtr payload);
 
   /// Stops retransmitting `token`. Idempotent; unknown tokens are ignored
-  /// (a duplicate ack after the first is the normal case).
+  /// (an ack that already completed the send is the normal case).
   void CancelReliable(uint64_t token);
 
   /// Ordered-broadcast datagram to all other sites (Conc2's environment
   /// primitive; meaningful under synchronous link params).
   void Broadcast(EnvelopePtr payload);
 
-  /// Wire entry: the Site routes incoming packets here; the transport simply
-  /// hands the payload up (dedup lives in the Vm layer).
+  /// Wire entry: the Site routes incoming packets here. Processes piggyback
+  /// acks, dedups reliable packets, and hands fresh payloads up.
   void OnPacket(const Packet& packet);
 
-  /// Upper-layer delivery hook.
-  void set_deliver_fn(std::function<void(SiteId from, EnvelopePtr)> fn) {
+  /// Upper-layer delivery hook. Returns true when the payload was consumed
+  /// (safe to ack and dedup), false to refuse it (it will be re-offered on
+  /// retransmission).
+  void set_deliver_fn(std::function<bool(SiteId from, EnvelopePtr)> fn) {
     deliver_fn_ = std::move(fn);
   }
 
-  /// Crash: all volatile retransmission state evaporates. The Vm layer
-  /// re-registers outstanding sends from its log during recovery.
+  /// Invoked with the caller's token when the peer's cumulative ack covers a
+  /// reliable send — the transport-level "received and processed safely"
+  /// signal (the Vm layer logs the Vm's death on it).
+  void set_ack_fn(std::function<void(uint64_t token)> fn) {
+    ack_fn_ = std::move(fn);
+  }
+
+  /// Sender incarnation stamped on outgoing packets; the Site sets it from
+  /// the stable storage incarnation after each recovery.
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Crash: all volatile channel state evaporates. The Vm layer re-registers
+  /// outstanding sends from its log during recovery (under a new epoch).
   void Crash();
 
   /// Number of payloads currently being retransmitted.
-  size_t outstanding() const { return pending_.size(); }
+  size_t outstanding() const { return token_index_.size(); }
 
   uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t dup_drops() const { return dup_drops_; }
+  uint64_t pure_acks() const { return pure_acks_; }
+  uint64_t piggyback_acks() const { return piggyback_acks_; }
+  /// Current total out-of-order dedup entries across peers (the cumulative
+  /// watermarks compress everything below them to one integer per peer).
+  size_t dedup_entries() const;
+  /// High-water mark of dedup_entries() over the transport's lifetime.
+  size_t dedup_peak() const { return dedup_peak_; }
   SiteId self() const { return self_; }
 
  private:
+  /// Sender half of one channel.
+  struct PendingSend {
+    uint64_t token = 0;
+    EnvelopePtr payload;
+    uint64_t sends = 1;  // original + retransmissions
+  };
+  struct PeerOut {
+    uint64_t next_seq = 1;
+    std::map<uint64_t, PendingSend> pending;  // seq -> send, oldest first
+    uint32_t backoff_exp = 0;
+    SimTime next_due = 0;  // earliest time the next retransmit round may fire
+    uint64_t rounds = 0;   // jitter salt
+  };
+
+  /// Receiver half of one channel (per sender incarnation).
+  struct PeerIn {
+    uint64_t epoch = 0;
+    uint64_t cum = 0;          // all reliable seqs <= cum were consumed
+    std::set<uint64_t> above;  // consumed out-of-order seqs > cum
+    bool ack_owed = false;     // delayed pure ack armed
+  };
+
   void ArmTimer();
   void OnTimer();
-
-  struct PendingSend {
-    SiteId dst;
-    EnvelopePtr payload;
-  };
+  void SendPacket(SiteId dst, uint64_t seq, const EnvelopePtr& payload);
+  void AttachAck(Packet* p);
+  void ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum);
+  void OweAck(SiteId src);
+  SimTime IntervalFor(const PeerOut& po) const;
+  SimTime JitteredInterval(SiteId peer, const PeerOut& po) const;
+  void NoteDedupSize();
 
   sim::Kernel* kernel_;
   Network* network_;
   SiteId self_;
+  CounterSet* counters_;
   Options options_;
-  std::function<void(SiteId, EnvelopePtr)> deliver_fn_;
-  std::map<uint64_t, PendingSend> pending_;
+  std::function<bool(SiteId, EnvelopePtr)> deliver_fn_;
+  std::function<void(uint64_t)> ack_fn_;
+
+  uint64_t epoch_ = 0;
+  std::map<SiteId, PeerOut> out_;
+  std::map<SiteId, PeerIn> in_;
+  /// token -> (dst, seq); also the collision detector.
+  std::map<uint64_t, std::pair<SiteId, uint64_t>> token_index_;
+
   bool timer_armed_ = false;
+  SimTime armed_at_ = 0;
   uint64_t generation_ = 0;  // invalidates timers across crashes
+  /// Scheduled lambdas capture this flag instead of trusting `this` to
+  /// outlive them: the Site destroys its Transport on crash while the
+  /// kernel's queue may still hold our timer events.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
   uint64_t retransmissions_ = 0;
-  uint64_t next_seq_ = 1;  // tracing only
+  uint64_t dup_drops_ = 0;
+  uint64_t pure_acks_ = 0;
+  uint64_t piggyback_acks_ = 0;
+  size_t dedup_peak_ = 0;
 };
 
 }  // namespace dvp::net

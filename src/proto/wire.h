@@ -57,6 +57,12 @@ struct VmTransferMsg final : public net::Envelope {
   TxnId for_txn;
   /// Lamport timestamp at creation; bumps the recipient's clock (§7).
   uint64_t ts_packed = 0;
+  /// Sender's closed watermark for this destination: every Vm counter below
+  /// this that the sender ever addressed to the recipient has been durably
+  /// acked (VmAckedRec forced) and will never be retransmitted. The
+  /// recipient prunes its accepted-set below it — the piggybacked cumulative
+  /// ack of §4.2 turned around to bound the *receiver's* dedup state.
+  uint64_t closed_below = 0;
 
   // ---- Full-read reply metadata (meaningful when is_read_reply) ----------
   bool is_read_reply = false;
@@ -67,6 +73,13 @@ struct VmTransferMsg final : public net::Envelope {
   /// counters — evidence that no value moved anywhere in between (the
   /// N_M = 0 condition of §3 turned into a termination-detection rule).
   uint64_t accept_count = 0;
+  /// Lifetime count of Vm *created* at the source site, snapshotted with
+  /// accept_count. The read-termination rule compares both: an acceptance can
+  /// land after the acceptor's reply for a round, but the matching creation
+  /// always precedes the creator's own next reply (the Vm must be acked
+  /// before the creator's outbox clears), so the pair is race-free where the
+  /// accept count alone is not.
+  uint64_t create_count = 0;
 
   std::string_view Tag() const override { return "VmTransfer"; }
 };
@@ -78,6 +91,21 @@ struct VmAckMsg final : public net::Envelope {
   uint64_t ts_packed = 0;
 
   std::string_view Tag() const override { return "VmAck"; }
+};
+
+/// Courtesy notification that the sender's channel to the recipient drained:
+/// every Vm counter below `closed_below` that the sender ever addressed to
+/// the recipient is durably closed (VmAckedRec forced) and will never be
+/// retransmitted. Transfers piggyback the same watermark, but once the last
+/// outstanding Vm is acked there is no further transfer to carry it — without
+/// this datagram the recipient's dedup entries for the final burst would
+/// linger until the channel's next use. Best-effort: if lost, the next
+/// transfer prunes instead; the entries are volatile either way.
+struct VmClosureMsg final : public net::Envelope {
+  SiteId src;
+  uint64_t closed_below = 0;
+
+  std::string_view Tag() const override { return "VmClosure"; }
 };
 
 /// Courtesy refusal when the Conc1 timestamp rule blocks a request: carries

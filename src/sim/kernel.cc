@@ -17,37 +17,41 @@ SimTime Kernel::NextEventTime() {
   return queue_.empty() ? kSimTimeMax : queue_.top().when;
 }
 
-bool Kernel::Step() {
+bool Kernel::PopNextLive(SimTime until, Event* out) {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    // Discard cancelled tombstones without advancing time.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) return false;
+    *out = queue_.top();
     queue_.pop();
-    if (*ev.cancelled) continue;  // skip disarmed timers
-    now_ = ev.when;
-    ev.fn();
-    ++events_executed_;
-    if (post_event_hook_) post_event_hook_();
     return true;
   }
   return false;
 }
 
+void Kernel::Execute(Event& ev) {
+  now_ = ev.when;
+  ev.fn();
+  ++events_executed_;
+  if (post_event_hook_) post_event_hook_();
+}
+
+bool Kernel::Step() {
+  Event ev;
+  if (!PopNextLive(kSimTimeMax, &ev)) return false;
+  Execute(ev);
+  return true;
+}
+
 uint64_t Kernel::Run(SimTime until) {
   uint64_t executed = 0;
-  while (!queue_.empty()) {
-    // Peek past cancelled events without advancing time.
-    const Event& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (top.when > until) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
-    ++events_executed_;
+  Event ev;
+  while (PopNextLive(until, &ev)) {
+    Execute(ev);
     ++executed;
-    if (post_event_hook_) post_event_hook_();
   }
   if (now_ < until && until != kSimTimeMax) now_ = until;
   return executed;

@@ -94,6 +94,14 @@ class Kernel {
     }
   };
 
+  /// Pops the next live (non-cancelled) event into `out` if its time is
+  /// <= `until`; discards cancelled tombstones along the way. Returns false
+  /// (leaving the queue intact past `until`) when nothing qualifies. Step()
+  /// and Run() share this — the single place the skip rules live.
+  bool PopNextLive(SimTime until, Event* out);
+
+  void Execute(Event& ev);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;

@@ -32,14 +32,21 @@ void Site::BuildVolatile() {
   store_ = std::make_unique<core::ValueStore>(catalog_);
   locks_ = std::make_unique<cc::LockManager>();
   transport_ = std::make_unique<net::Transport>(kernel_, network_, id_,
+                                                &counters_,
                                                 options_.transport);
+  transport_->set_epoch(storage_->incarnation());
   transport_->set_deliver_fn([this](SiteId from, net::EnvelopePtr payload) {
-    OnEnvelope(from, std::move(payload));
+    return OnEnvelope(from, std::move(payload));
   });
   bool stamp_on_accept = options_.txn.scheme == cc::CcScheme::kConc1;
   vm_ = std::make_unique<vm::VmManager>(
       id_, storage_, store_.get(), locks_.get(), transport_.get(), &clock_,
       &counters_, stamp_on_accept, options_.txn.accept_stamp);
+  // The transport's cumulative ack doubles as the Vm acceptance signal: it
+  // fires when the peer has consumed the transfer even if every explicit
+  // VmAckMsg was lost.
+  transport_->set_ack_fn(
+      [this](uint64_t token) { vm_->OnTransportAck(token); });
   txn_ = std::make_unique<txn::TxnManager>(
       id_, network_->num_sites(), kernel_, storage_, store_.get(),
       locks_.get(), vm_.get(), transport_.get(), &clock_, &counters_,
@@ -102,6 +109,9 @@ void Site::Recover(
     clock_.Reset(report.clock_counter);
 
     storage_->set_incarnation(storage_->incarnation() + 1);
+    // The new incarnation is the transport epoch: peers reset per-channel
+    // sequencing for the reborn sender and drop its previous life's packets.
+    transport_->set_epoch(storage_->incarnation());
     storage_->Append(wal::LogRecord(
         wal::RecoveryRec{storage_->incarnation(), report.clock_counter}));
 
@@ -162,35 +172,43 @@ core::Value Site::DurableValue(ItemId item) const {
   return scratch.value(item);
 }
 
-void Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
-  if (!up_) return;
+bool Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
+  if (!up_) return false;
   if (const auto* req =
           dynamic_cast<const proto::RequestMsg*>(payload.get())) {
     txn_->OnRequest(from, *req);
-    return;
+    return true;
   }
   if (const auto* transfer =
           dynamic_cast<const proto::VmTransferMsg*>(payload.get())) {
+    vm_->ObserveClosedBelow(transfer->src, transfer->closed_below);
     if (vm_->AlreadyAccepted(transfer->vm)) {
       vm_->ReAck(*transfer);
-      return;
+      return true;
     }
-    if (!txn_->RouteVmTransfer(from, *transfer)) {
-      vm_->AcceptOrIgnore(*transfer);
-    }
-    return;
+    if (txn_->RouteVmTransfer(from, *transfer)) return true;
+    // False here means deferred-while-locked: refuse the packet so the
+    // transport neither acks nor dedups it and a retransmission re-offers
+    // the value once the lock clears (§5).
+    return vm_->AcceptOrIgnore(*transfer);
   }
   if (const auto* ack = dynamic_cast<const proto::VmAckMsg*>(payload.get())) {
     vm_->OnAck(*ack);
-    return;
+    return true;
+  }
+  if (const auto* closure =
+          dynamic_cast<const proto::VmClosureMsg*>(payload.get())) {
+    vm_->ObserveClosedBelow(closure->src, closure->closed_below);
+    return true;
   }
   if (const auto* nack =
           dynamic_cast<const proto::CcNackMsg*>(payload.get())) {
     clock_.Observe(Timestamp::FromPacked(nack->ts_packed));
     counters_.Inc("req.nack_received");
-    return;
+    return true;
   }
   counters_.Inc("msg.unknown");
+  return true;
 }
 
 }  // namespace dvp::site

@@ -99,7 +99,9 @@ class Site {
 
  private:
   void BuildVolatile();
-  void OnEnvelope(SiteId from, net::EnvelopePtr payload);
+  /// Returns true when the payload was consumed (transport may ack/dedup);
+  /// false defers it to a later retransmission (locked-item Vm transfers).
+  bool OnEnvelope(SiteId from, net::EnvelopePtr payload);
   void ArmCheckpointTimer();
 
   SiteId id_;

@@ -314,15 +314,19 @@ void TxnManager::HandleReadReply(PendingTxn& t,
   ReadState& rs = it->second;
   if (rs.done || msg.round != rs.round) return;
 
-  rs.counters[msg.src] = msg.accept_count;
+  rs.counters[msg.src] = {msg.accept_count, msg.create_count};
   if (msg.amount > 0) rs.this_round_nonzero = true;
   if (rs.counters.size() < num_sites_ - 1) return;
 
   // Round complete. Terminate only after two consecutive all-zero rounds
-  // with unchanged acceptance counters: no fragment held value at any reply
-  // point, no site had outstanding Vm (they would have refused), and no site
-  // accepted anything in between — hence N_M = 0 and the local fragment now
-  // holds Π⁻¹(d) in its entirety.
+  // with unchanged acceptance AND creation counters: no fragment held value
+  // at any reply point, no site had outstanding Vm (they would have
+  // refused), and no value moved in between — hence N_M = 0 and the local
+  // fragment now holds Π⁻¹(d) in its entirety. The creation counters close
+  // the snapshot-skew race: a Vm created, accepted and acked entirely
+  // between two rounds can evade the acceptor's comparison (its second
+  // reply may precede the acceptance), but never the creator's — the
+  // creator cannot reply while its outbox still holds the Vm.
   bool all_zero = !rs.this_round_nonzero;
   if (all_zero && rs.prev_round_all_zero && rs.counters == rs.prev_counters) {
     rs.done = true;

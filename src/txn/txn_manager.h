@@ -96,9 +96,13 @@ class TxnManager {
  private:
   struct ReadState {
     uint32_t round = 1;
-    /// Replies this round: src → accept_count at reply time.
-    std::map<SiteId, uint64_t> counters;
-    std::map<SiteId, uint64_t> prev_counters;
+    /// Replies this round: src → (accept_count, create_count) at reply time.
+    /// Both are needed: an acceptance can land just after the acceptor's
+    /// reply and escape the accept comparison, but the Vm's creation always
+    /// precedes the creator's own next reply (its outbox must drain first),
+    /// so the creator's create_count catches the movement.
+    std::map<SiteId, std::pair<uint64_t, uint64_t>> counters;
+    std::map<SiteId, std::pair<uint64_t, uint64_t>> prev_counters;
     bool this_round_nonzero = false;
     bool prev_round_all_zero = false;
     bool done = false;

@@ -23,6 +23,52 @@ VmManager::VmManager(SiteId self, wal::StableStorage* storage,
 
 VmId VmManager::NextVmId() { return MakeVmId(self_, next_vm_counter_++); }
 
+bool VmManager::AlreadyAccepted(VmId vm) const {
+  auto it = accepted_.find(VmIdSite(vm));
+  if (it == accepted_.end()) return false;
+  uint64_t counter = VmIdCounter(vm);
+  return counter < it->second.pruned_below ||
+         it->second.counters.contains(counter);
+}
+
+size_t VmManager::accepted_entries() const {
+  size_t n = 0;
+  for (const auto& [site, pa] : accepted_) {
+    (void)site;
+    n += pa.counters.size();
+  }
+  return n;
+}
+
+void VmManager::MarkAccepted(VmId vm) {
+  PeerAccepted& pa = accepted_[VmIdSite(vm)];
+  uint64_t counter = VmIdCounter(vm);
+  if (counter >= pa.pruned_below) pa.counters.insert(counter);
+  ++lifetime_accepts_;
+  accepted_peak_ = std::max(accepted_peak_, accepted_entries());
+}
+
+void VmManager::ObserveClosedBelow(SiteId src, uint64_t closed_below) {
+  if (closed_below == 0) return;
+  auto it = accepted_.find(src);
+  if (it == accepted_.end()) return;
+  PeerAccepted& pa = it->second;
+  if (closed_below <= pa.pruned_below) return;
+  auto upto = pa.counters.lower_bound(closed_below);
+  size_t pruned = static_cast<size_t>(std::distance(pa.counters.begin(), upto));
+  pa.counters.erase(pa.counters.begin(), upto);
+  pa.pruned_below = closed_below;
+  if (pruned > 0) counters_->Inc("vm.accepted_pruned", pruned);
+}
+
+uint64_t VmManager::ClosedBelowFor(SiteId dst) const {
+  uint64_t closed = next_vm_counter_;
+  for (const auto& [id, out] : outbox_) {
+    if (out.dst == dst) closed = std::min(closed, VmIdCounter(id));
+  }
+  return closed;
+}
+
 VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
                          TxnId for_txn, bool is_read_reply, uint32_t round) {
   const core::Fragment& frag = store_->fragment(item);
@@ -48,6 +94,10 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
 
   OutVm out{dst, item, amount, for_txn, is_read_reply, round};
   outbox_.emplace(id, out);
+  // Read replies are excluded from the movement counter: every reply to a
+  // reader's round is itself a Vm, so counting them would bump the count
+  // each round and no read could ever terminate.
+  if (!is_read_reply) ++lifetime_creates_;
   counters_->Inc("vm.created");
 
   SendTransfer(id, out);
@@ -64,7 +114,9 @@ void VmManager::SendTransfer(VmId id, const OutVm& out) {
   msg->ts_packed = clock_->Next().packed();
   msg->is_read_reply = out.is_read_reply;
   msg->round = out.round;
-  msg->accept_count = accepted_.size();
+  msg->accept_count = lifetime_accepts_;
+  msg->create_count = lifetime_creates_;
+  msg->closed_below = ClosedBelowFor(out.dst);
   transport_->SendReliable(out.dst, id.value(), std::move(msg));
 }
 
@@ -79,7 +131,7 @@ void VmManager::SendAck(VmId vm, SiteId to) {
 core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
                                 bool stamp_fresh) {
   clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
-  if (accepted_.contains(msg.vm)) {
+  if (AlreadyAccepted(msg.vm)) {
     counters_->Inc("vm.duplicate");
     SendAck(msg.vm, msg.src);
     return 0;
@@ -113,7 +165,7 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
 
   store_->SetValue(msg.item, frag.value + msg.amount);
   store_->SetTs(msg.item, post_ts);
-  accepted_.insert(msg.vm);
+  MarkAccepted(msg.vm);
   counters_->Inc("vm.accepted");
 
   SendAck(msg.vm, msg.src);
@@ -121,7 +173,7 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
 }
 
 bool VmManager::AcceptOrIgnore(const proto::VmTransferMsg& msg) {
-  if (accepted_.contains(msg.vm)) {
+  if (AlreadyAccepted(msg.vm)) {
     ReAck(msg);
     return false;
   }
@@ -145,14 +197,53 @@ void VmManager::ReAck(const proto::VmTransferMsg& msg) {
   SendAck(msg.vm, msg.src);
 }
 
+void VmManager::FinishAcked(VmId vm) {
+  auto it = outbox_.find(vm);
+  if (it == outbox_.end()) return;  // duplicate ack
+  SiteId dst = it->second.dst;
+  storage_->Append(wal::LogRecord(wal::VmAckedRec{vm}));
+  outbox_.erase(it);
+  transport_->CancelReliable(vm.value());
+  counters_->Inc("vm.acked");
+  // Channel drained: no further transfer will carry the (now fully advanced)
+  // watermark, so push it explicitly. Otherwise the recipient's dedup
+  // entries for the final burst would linger until the channel's next use.
+  // Sent reliably — a single lost datagram would strand them just as long —
+  // but under a reserved token so it never masquerades as a Vm, and
+  // cancelling any previous closure to the same peer so at most one is ever
+  // in flight per channel.
+  if (ClosedBelowFor(dst) == next_vm_counter_) {
+    auto closure = std::make_shared<proto::VmClosureMsg>();
+    closure->src = self_;
+    closure->closed_below = next_vm_counter_;
+    auto prev = closure_tokens_.find(dst);
+    if (prev != closure_tokens_.end()) {
+      transport_->CancelReliable(prev->second);
+    }
+    uint64_t token = kClosureTokenBase | next_closure_token_++;
+    closure_tokens_[dst] = token;
+    transport_->SendReliable(dst, token, std::move(closure));
+    counters_->Inc("vm.closure_sent");
+  }
+}
+
 void VmManager::OnAck(const proto::VmAckMsg& msg) {
   clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
-  auto it = outbox_.find(msg.vm);
-  if (it == outbox_.end()) return;  // duplicate ack
-  storage_->Append(wal::LogRecord(wal::VmAckedRec{msg.vm}));
-  outbox_.erase(it);
-  transport_->CancelReliable(msg.vm.value());
-  counters_->Inc("vm.acked");
+  FinishAcked(msg.vm);
+}
+
+void VmManager::OnTransportAck(uint64_t token) {
+  if ((token & kClosureTokenBase) == kClosureTokenBase) {
+    // A closure notification completed; it is not a Vm. Forget its token.
+    for (auto it = closure_tokens_.begin(); it != closure_tokens_.end(); ++it) {
+      if (it->second == token) {
+        closure_tokens_.erase(it);
+        break;
+      }
+    }
+    return;
+  }
+  FinishAcked(VmId(token));
 }
 
 bool VmManager::HasOutstandingFor(ItemId item) const {
@@ -166,6 +257,11 @@ bool VmManager::HasOutstandingFor(ItemId item) const {
 void VmManager::Clear() {
   outbox_.clear();
   accepted_.clear();
+  closure_tokens_.clear();
+  next_closure_token_ = 0;
+  lifetime_accepts_ = 0;
+  lifetime_creates_ = 0;
+  accepted_peak_ = 0;
   next_vm_counter_ = 1;
 }
 
@@ -177,18 +273,27 @@ void VmManager::RestoreFromLog() {
                       OutVm{create->dst, create->item, create->amount,
                             create->for_txn, /*is_read_reply=*/false,
                             /*round=*/0});
+      // The log does not record is_read_reply, so this over-counts replies.
+      // Safe: a level shift only makes the reader's equality comparison fail
+      // and run an extra round — never terminate early.
+      ++lifetime_creates_;
       if (VmIdSite(create->vm) == self_) {
         next_vm_counter_ =
             std::max(next_vm_counter_, VmIdCounter(create->vm) + 1);
       }
     } else if (const auto* accept = std::get_if<wal::VmAcceptRec>(&rec)) {
-      accepted_.insert(accept->vm);
+      // The full accepted history is rebuilt (pruning watermarks are
+      // volatile); the first transfers from each peer re-prune it.
+      MarkAccepted(accept->vm);
     } else if (const auto* acked = std::get_if<wal::VmAckedRec>(&rec)) {
       outbox_.erase(acked->vm);
     }
   });
   assert(s.ok() && "vm recovery scan hit log corruption");
   (void)s;
+  // The scan double-counted nothing (DoAccept logs each Vm at most once),
+  // but it bumped lifetime_accepts_ via MarkAccepted — which is exactly the
+  // durable lifetime count the read-termination rule needs.
 
   // §7: "outstanding Vm need not be sent again" by any special action — the
   // normal guaranteed-delivery machinery re-drives them. Re-arming the

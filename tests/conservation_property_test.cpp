@@ -96,7 +96,9 @@ TEST_P(ConservationChaosTest, InvariantHoldsAfterEveryEvent) {
   for (uint32_t s = 0; s < 4; ++s) {
     if (!up[s]) cluster.RecoverSite(SiteId(s));
   }
-  cluster.RunFor(3'000'000);
+  // The drain window must cover several capped backoff rounds: under heavy
+  // loss a retransmission fires every rto_max (1.6s) until one gets through.
+  cluster.RunFor(15'000'000);
   EXPECT_TRUE(cluster.AuditAll().ok());
   EXPECT_GT(audits, 40u) << "the hook must actually have audited";
 

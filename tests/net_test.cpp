@@ -238,29 +238,45 @@ TEST_F(NetworkTest, DuplicationDeliversTwice) {
 
 class TransportTest : public ::testing::Test {
  protected:
-  TransportTest()
-      : network_(&kernel_, 2, LinkParams::Synchronous(1000), Rng(6)) {
+  TransportTest() { Build(LinkParams::Synchronous(1000)); }
+
+  void Build(LinkParams link) {
+    network_ = std::make_unique<Network>(&kernel_, 2, link, Rng(6));
     Transport::Options opts;
     opts.rto_us = 10'000;
+    opts.ack_delay_us = 2'000;
     for (uint32_t s = 0; s < 2; ++s) {
-      transport_[s] = std::make_unique<Transport>(&kernel_, &network_,
-                                                  SiteId(s), opts);
+      transport_[s] = std::make_unique<Transport>(&kernel_, network_.get(),
+                                                  SiteId(s), &counters_[s],
+                                                  opts);
       Transport* t = transport_[s].get();
-      network_.RegisterEndpoint(
-          SiteId(s), [t](const Packet& p) { t->OnPacket(p); },
+      network_->RegisterEndpoint(
+          SiteId(s),
+          [this, s, t](const Packet& p) {
+            if (p.payload && p.reliability == Reliability::kReliable) {
+              wire_seqs_[s].push_back(p.seq.value());
+            }
+            t->OnPacket(p);
+          },
           []() { return true; });
-      transport_[s]->set_deliver_fn(
-          [this, s](SiteId, EnvelopePtr payload) {
-            received_[s].push_back(
-                static_cast<const TestMsg*>(payload.get())->value);
-          });
+      transport_[s]->set_deliver_fn([this, s](SiteId, EnvelopePtr payload) {
+        received_[s].push_back(
+            static_cast<const TestMsg*>(payload.get())->value);
+        return consume_[s];
+      });
+      transport_[s]->set_ack_fn(
+          [this, s](uint64_t token) { acked_[s].push_back(token); });
     }
   }
 
   sim::Kernel kernel_;
-  Network network_;
+  std::unique_ptr<Network> network_;
   std::unique_ptr<Transport> transport_[2];
+  CounterSet counters_[2];
   std::vector<int> received_[2];
+  std::vector<uint64_t> wire_seqs_[2];  // reliable seqs seen on the wire
+  std::vector<uint64_t> acked_[2];      // tokens completed by cumulative ack
+  bool consume_[2] = {true, true};
 };
 
 TEST_F(TransportTest, DatagramDelivers) {
@@ -269,27 +285,98 @@ TEST_F(TransportTest, DatagramDelivers) {
   EXPECT_EQ(received_[1], (std::vector<int>{1}));
 }
 
-TEST_F(TransportTest, ReliableRetransmitsUntilCancelled) {
+TEST_F(TransportTest, CumulativeAckStopsRetransmissionAndCompletesToken) {
   transport_[0]->SendReliable(SiteId(1), 77, std::make_shared<TestMsg>(2));
   EXPECT_EQ(transport_[0]->outstanding(), 1u);
-  kernel_.Run(35'000);  // several RTOs
-  EXPECT_GE(received_[1].size(), 3u);  // original + >= 2 retransmissions
+  kernel_.Run(100'000);
+  // Consumed on first delivery; the delayed pure ack (no reverse traffic)
+  // completed the send before the first retransmission round.
+  EXPECT_EQ(received_[1], (std::vector<int>{2}));
+  EXPECT_EQ(transport_[0]->retransmissions(), 0u);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+  EXPECT_EQ(acked_[0], (std::vector<uint64_t>{77}));
+  EXPECT_EQ(transport_[1]->pure_acks(), 1u);
+}
+
+TEST_F(TransportTest, PiggybackAckOnReverseTrafficBeatsPureAck) {
+  transport_[0]->SendReliable(SiteId(1), 4, std::make_shared<TestMsg>(2));
+  // Reverse datagram leaves after delivery (t=1000) but before the pure-ack
+  // delay (2000) expires; the ack rides it.
+  kernel_.Schedule(1'500, [this]() {
+    transport_[1]->SendDatagram(SiteId(0), std::make_shared<TestMsg>(9));
+  });
+  kernel_.Run(100'000);
+  EXPECT_EQ(acked_[0], (std::vector<uint64_t>{4}));
+  EXPECT_EQ(transport_[1]->pure_acks(), 0u);
+  EXPECT_EQ(transport_[1]->piggyback_acks(), 1u);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, ReliableRetransmitsUntilCancelled) {
+  consume_[1] = false;  // receiver refuses: no ack, no dedup
+  transport_[0]->SendReliable(SiteId(1), 77, std::make_shared<TestMsg>(2));
+  kernel_.Run(60'000);  // several backoff rounds
+  EXPECT_GE(received_[1].size(), 3u);  // original + >= 2 re-offers
   EXPECT_GE(transport_[0]->retransmissions(), 2u);
   transport_[0]->CancelReliable(77);
   size_t so_far = received_[1].size();
-  kernel_.Run(kernel_.Now() + 50'000);
+  kernel_.Run(kernel_.Now() + 200'000);
   EXPECT_EQ(received_[1].size(), so_far);  // silence after cancel
   EXPECT_EQ(transport_[0]->outstanding(), 0u);
 }
 
+TEST_F(TransportTest, RetransmissionsReuseTheOriginalSeq) {
+  consume_[1] = false;
+  transport_[0]->SendReliable(SiteId(1), 8, std::make_shared<TestMsg>(3));
+  kernel_.Run(80'000);
+  ASSERT_GE(wire_seqs_[1].size(), 3u);
+  for (uint64_t seq : wire_seqs_[1]) EXPECT_EQ(seq, wire_seqs_[1][0]);
+  // Once the receiver consumes, exactly one more credit happens and the
+  // duplicate window holds the rest.
+  consume_[1] = true;
+  size_t before = received_[1].size();
+  kernel_.Run(kernel_.Now() + 2'000'000);
+  EXPECT_EQ(received_[1].size(), before + 1);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, DuplicateDroppedAtTransport) {
+  LinkParams dupl = LinkParams::Synchronous(1000);
+  dupl.duplicate_prob = 1.0;
+  Build(dupl);
+  transport_[0]->SendReliable(SiteId(1), 3, std::make_shared<TestMsg>(6));
+  kernel_.Run(100'000);
+  // Two copies hit the wire; the payload reached the upper layer once.
+  EXPECT_EQ(received_[1], (std::vector<int>{6}));
+  EXPECT_GE(transport_[1]->dup_drops(), 1u);
+  EXPECT_GE(counters_[1].Get("transport.dup_drop"), 1u);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
 TEST_F(TransportTest, ReliableSurvivesTotalLossUntilHeal) {
-  ASSERT_TRUE(network_.partition().Split({{SiteId(0)}, {SiteId(1)}}).ok());
+  ASSERT_TRUE(network_->partition().Split({{SiteId(0)}, {SiteId(1)}}).ok());
   transport_[0]->SendReliable(SiteId(1), 5, std::make_shared<TestMsg>(3));
   kernel_.Run(50'000);
   EXPECT_TRUE(received_[1].empty());
-  network_.partition().Heal();
-  kernel_.Run(kernel_.Now() + 50'000);
-  EXPECT_FALSE(received_[1].empty());
+  network_->partition().Heal();
+  // Backoff may have stretched the retry interval; give it a few rounds.
+  kernel_.Run(kernel_.Now() + 1'000'000);
+  EXPECT_EQ(received_[1], (std::vector<int>{3}));
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);  // ack flowed back after heal
+}
+
+TEST_F(TransportTest, BackoffKillsRetransmissionStormDuringPartition) {
+  ASSERT_TRUE(network_->partition().Split({{SiteId(0)}, {SiteId(1)}}).ok());
+  for (uint64_t t = 0; t < 20; ++t) {
+    transport_[0]->SendReliable(SiteId(1), 100 + t,
+                                std::make_shared<TestMsg>(int(t)));
+  }
+  kernel_.Run(300'000);
+  // A fixed-RTO transport re-fires every pending send each tick: 20 sends *
+  // 30 ticks = 600 packets over this window. Exponential backoff with a
+  // burst cap sends a handful of probe rounds instead.
+  EXPECT_LE(transport_[0]->retransmissions(), 60u);
+  EXPECT_GE(transport_[0]->retransmissions(), 8u);  // still probing
 }
 
 TEST_F(TransportTest, CrashClearsOutstanding) {
@@ -302,9 +389,56 @@ TEST_F(TransportTest, CrashClearsOutstanding) {
   EXPECT_LE(received_[1].size() - delivered_before, 1u);
 }
 
+TEST_F(TransportTest, NewEpochResetsTheReceiverChannel) {
+  transport_[0]->SendReliable(SiteId(1), 1, std::make_shared<TestMsg>(10));
+  kernel_.Run(100'000);
+  ASSERT_EQ(received_[1], (std::vector<int>{10}));
+
+  // Reborn sender: fresh epoch, seq numbering restarts at 1. The receiver
+  // must not mistake the new seq 1 for the old consumed seq 1.
+  transport_[0]->Crash();
+  transport_[0]->set_epoch(1);
+  transport_[0]->SendReliable(SiteId(1), 2, std::make_shared<TestMsg>(11));
+  kernel_.Run(kernel_.Now() + 100'000);
+  EXPECT_EQ(received_[1], (std::vector<int>{10, 11}));
+}
+
+TEST_F(TransportTest, StaleEpochPacketsAreDropped) {
+  // Receiver tracks epoch 1...
+  transport_[0]->set_epoch(1);
+  transport_[0]->SendReliable(SiteId(1), 1, std::make_shared<TestMsg>(20));
+  kernel_.Run(100'000);
+  ASSERT_EQ(received_[1].size(), 1u);
+  // ...then a leftover packet from the sender's previous life limps in.
+  Packet stale;
+  stale.src = SiteId(0);
+  stale.dst = SiteId(1);
+  stale.reliability = Reliability::kReliable;
+  stale.epoch = 0;
+  stale.seq = MsgSeq(9);
+  stale.payload = std::make_shared<TestMsg>(21);
+  network_->Send(std::move(stale));
+  kernel_.Run(kernel_.Now() + 100'000);
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(counters_[1].Get("transport.stale_epoch_drop"), 1u);
+}
+
 TEST_F(TransportTest, CancelUnknownTokenIsNoOp) {
   transport_[0]->CancelReliable(424242);  // no crash
   EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST(TransportDeathTest, TokenCollisionFailsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Kernel kernel;
+  Network network(&kernel, 2, LinkParams::Synchronous(1000), Rng(6));
+  CounterSet counters;
+  Transport transport(&kernel, &network, SiteId(0), &counters,
+                      Transport::Options{});
+  transport.SendReliable(SiteId(1), 42, std::make_shared<TestMsg>(1));
+  EXPECT_DEATH(
+      transport.SendReliable(SiteId(1), 42, std::make_shared<TestMsg>(2)),
+      "already a live reliable send");
 }
 
 }  // namespace

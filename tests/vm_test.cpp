@@ -137,6 +137,66 @@ TEST_F(VmFixture, ReceiverCrashAfterAcceptDeduplicatesRetransmission) {
   EXPECT_EQ(cluster_->Audit(item_).live_vms, 0u);
 }
 
+TEST_F(VmFixture, ExactlyOnceUnderLossDupReorderAndCrashRestart) {
+  // The full gauntlet: lossy, duplicating, reordering links, with both sites
+  // crashing and restarting mid-stream. Conservation and exactly-once must
+  // hold unconditionally.
+  net::LinkParams nasty;
+  nasty.loss_prob = 0.4;
+  nasty.duplicate_prob = 0.25;
+  nasty.jitter_mean_us = 2'000;  // reorders packets
+  Build(nasty);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster_->site(SiteId(0)).SendValue(SiteId(1), item_, 3).ok());
+  }
+  cluster_->RunFor(2'000'000);
+  cluster_->CrashSite(SiteId(1));  // receiver dies mid-stream
+  cluster_->RecoverSite(SiteId(1));
+  cluster_->RunFor(2'000'000);  // recovery is asynchronous; let it finish
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster_->site(SiteId(1)).SendValue(SiteId(0), item_, 1).ok());
+  }
+  cluster_->RunFor(2'000'000);
+  cluster_->CrashSite(SiteId(0));  // sender dies with acks in flight
+  cluster_->RecoverSite(SiteId(0));
+  cluster_->RunFor(120'000'000);  // covers recovery + every backoff round
+
+  auto audit = cluster_->Audit(item_);
+  EXPECT_EQ(audit.total(), 100);
+  EXPECT_EQ(audit.in_flight, 0);
+  EXPECT_EQ(audit.live_vms, 0u);
+  // 50 - 8*3 + 4*1 = 30 / 50 + 24 - 4 = 70: every Vm credited exactly once.
+  EXPECT_EQ(cluster_->site(SiteId(0)).LocalValue(item_), 30);
+  EXPECT_EQ(cluster_->site(SiteId(1)).LocalValue(item_), 70);
+  // Lifetime accept counts survive the crashes (rebuilt from the log)...
+  EXPECT_EQ(cluster_->site(SiteId(1)).vm()->accept_count(), 8u);
+  EXPECT_EQ(cluster_->site(SiteId(0)).vm()->accept_count(), 4u);
+  // ...while the in-memory dedup set stays a bounded window, not a lifetime
+  // archive.
+  EXPECT_LE(cluster_->site(SiteId(1)).vm()->accepted_entries(), 8u);
+  EXPECT_LE(cluster_->site(SiteId(0)).vm()->accepted_entries(), 4u);
+}
+
+TEST_F(VmFixture, AcceptedSetStaysBoundedOnceAcked) {
+  // A long ping-pong stream: each transfer's piggybacked closed_below
+  // watermark lets the receiver prune counters below it, so the accepted-set
+  // footprint is O(outstanding), not O(lifetime).
+  const int kRounds = 50;
+  for (int i = 0; i < kRounds; ++i) {
+    SiteId src = SiteId(uint32_t(i % 2));
+    SiteId dst = SiteId(uint32_t(1 - i % 2));
+    ASSERT_TRUE(cluster_->site(src).SendValue(dst, item_, 1).ok());
+    cluster_->RunFor(1'000'000);
+    EXPECT_LE(cluster_->site(dst).vm()->accepted_entries(), 4u);
+  }
+  EXPECT_EQ(cluster_->site(SiteId(0)).vm()->accept_count() +
+                cluster_->site(SiteId(1)).vm()->accept_count(),
+            uint64_t(kRounds));
+  EXPECT_LE(cluster_->site(SiteId(0)).vm()->accepted_entries_peak(), 8u);
+  EXPECT_LE(cluster_->site(SiteId(1)).vm()->accepted_entries_peak(), 8u);
+  EXPECT_EQ(cluster_->Audit(item_).total(), 100);
+}
+
 TEST_F(VmFixture, OutstandingVmBlocksFullReadHonor) {
   // Site 0 has an unacked Vm for the item (receiver partitioned away), so it
   // must refuse read requests for it (§5's N_M = 0 gate).
