@@ -1,0 +1,141 @@
+// Chaos swarm runner. Executes a block of seeded chaos cases, evaluates the
+// mid-flight oracles, shrinks every failure to a minimal ChaosCase literal,
+// and prints one JSON summary to stdout.
+//
+// The JSON is a pure function of the flags: it contains virtual-time and
+// digest data only, never wall-clock measurements, so two invocations with
+// the same flags are byte-identical — that is the determinism check CI runs.
+// Wall-clock progress goes to stderr. With --budget-ms the run stops early
+// once the wall budget is spent (the JSON then reflects however many runs
+// completed, so budgeted invocations are NOT comparable byte-for-byte).
+//
+//   chaos_runner --seed-start=1 --runs=200
+//   chaos_runner --runs=50 --budget-ms=60000        # CI swarm
+//   chaos_runner --runs=1 --plant-at-us=400000      # planted-violation demo
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "chaos/shrink.h"
+
+namespace {
+
+bool FlagU64(std::string_view arg, std::string_view name, uint64_t* out) {
+  std::string prefix = "--" + std::string(name) + "=";
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  *out = std::strtoull(std::string(arg.substr(prefix.size())).c_str(),
+                       nullptr, 10);
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed_start = 1;
+  uint64_t runs = 50;
+  uint64_t budget_ms = 0;  // 0 = no wall budget
+  uint64_t plant_at_us = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (FlagU64(arg, "seed-start", &seed_start) ||
+        FlagU64(arg, "runs", &runs) || FlagU64(arg, "budget-ms", &budget_ms) ||
+        FlagU64(arg, "plant-at-us", &plant_at_us)) {
+      continue;
+    }
+    std::cerr << "unknown flag: " << arg << "\n"
+              << "usage: chaos_runner [--seed-start=N] [--runs=N]"
+                 " [--budget-ms=N] [--plant-at-us=N]\n";
+    return 2;
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  auto wall_ms = [&]() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
+
+  dvp::chaos::RunOptions run_opts;
+  run_opts.planted_violation_at_us = static_cast<dvp::SimTime>(plant_at_us);
+  run_opts.record_trace = false;
+
+  struct Failure {
+    uint64_t seed;
+    std::string violation;
+    dvp::SimTime violation_time;
+    size_t shrunk_events;
+    uint32_t shrink_runs;
+    std::string literal;
+  };
+  std::vector<Failure> failures;
+  uint64_t completed = 0;
+  uint64_t swarm_digest = 0xcbf29ce484222325ull;
+
+  for (uint64_t i = 0; i < runs; ++i) {
+    if (budget_ms > 0 && static_cast<uint64_t>(wall_ms()) >= budget_ms) {
+      std::cerr << "budget exhausted after " << completed << " runs\n";
+      break;
+    }
+    uint64_t seed = seed_start + i;
+    dvp::chaos::ChaosCase c = dvp::chaos::MakeSwarmCase(seed);
+    dvp::chaos::RunResult r = dvp::chaos::RunCase(c, run_opts);
+    ++completed;
+    for (int b = 0; b < 8; ++b) {
+      swarm_digest ^= (r.digest >> (b * 8)) & 0xff;
+      swarm_digest *= 0x100000001b3ull;
+    }
+    if (!r.ok) {
+      std::cerr << "seed " << seed << " FAILED: " << r.violation
+                << " — shrinking\n";
+      dvp::chaos::ShrinkOptions sopts;
+      sopts.run = run_opts;
+      dvp::chaos::ShrinkResult sr = dvp::chaos::Shrink(c, sopts);
+      failures.push_back({seed, r.violation, r.violation_time,
+                          sr.minimal.plan.events.size(), sr.runs,
+                          sr.minimal.ToLiteral()});
+    }
+    if ((i + 1) % 25 == 0 || i + 1 == runs) {
+      std::cerr << "[" << (i + 1) << "/" << runs << "] " << wall_ms()
+                << "ms, " << failures.size() << " failure(s)\n";
+    }
+  }
+
+  std::cout << "{\n";
+  std::cout << "  \"seed_start\": " << seed_start << ",\n";
+  std::cout << "  \"runs_requested\": " << runs << ",\n";
+  std::cout << "  \"runs_completed\": " << completed << ",\n";
+  std::cout << "  \"swarm_digest\": \"" << std::hex << swarm_digest << std::dec
+            << "\",\n";
+  std::cout << "  \"failures\": [";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    const Failure& f = failures[i];
+    std::cout << (i ? "," : "") << "\n    {\"seed\": " << f.seed
+              << ", \"violation\": \"" << JsonEscape(f.violation)
+              << "\", \"violation_time_us\": " << f.violation_time
+              << ", \"shrunk_plan_events\": " << f.shrunk_events
+              << ", \"shrink_runs\": " << f.shrink_runs
+              << ", \"repro\": \"" << JsonEscape(f.literal) << "\"}";
+  }
+  std::cout << (failures.empty() ? "" : "\n  ") << "],\n";
+  std::cout << "  \"ok\": " << (failures.empty() ? "true" : "false") << "\n";
+  std::cout << "}\n";
+
+  std::cerr << "total wall time " << wall_ms() << "ms\n";
+  return failures.empty() ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dvp::chaos {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "kCrash";
+    case FaultKind::kRecover: return "kRecover";
+    case FaultKind::kPartition: return "kPartition";
+    case FaultKind::kHeal: return "kHeal";
+    case FaultKind::kLinkLoss: return "kLinkLoss";
+    case FaultKind::kLinkDelay: return "kLinkDelay";
+    case FaultKind::kLinkDup: return "kLinkDup";
+    case FaultKind::kLinkLossOne: return "kLinkLossOne";
+    case FaultKind::kTimeoutSkew: return "kTimeoutSkew";
+  }
+  return "?";
+}
+
+std::string FaultPlan::ToLiteral() const {
+  std::string out = "{";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i > 0) out += ", ";
+    out += "{" + std::to_string(e.at) + ", chaos::FaultKind::" +
+           std::string(FaultKindName(e.kind)) + ", " +
+           std::to_string(e.site) + ", " + std::to_string(e.arg) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += "  t=" + std::to_string(e.at) + "us " +
+           std::string(FaultKindName(e.kind)) + " site/mask=" +
+           std::to_string(e.site) + " arg=" + std::to_string(e.arg) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// A two-group partition mask over num_sites with both groups non-empty.
+uint32_t DrawPartitionMask(Rng& rng, uint32_t num_sites) {
+  uint32_t all = (num_sites >= 32) ? ~0u : ((1u << num_sites) - 1);
+  uint32_t mask;
+  do {
+    mask = static_cast<uint32_t>(rng.NextU64()) & all;
+  } while (mask == 0 || mask == all);
+  return mask;
+}
+
+}  // namespace
+
+FaultPlan GeneratePlan(uint64_t seed, const PlanSpec& spec) {
+  Rng rng(seed ^ 0xfa017c4a05ull);
+  FaultPlan plan;
+
+  // Swarm step: choose the fault classes active in THIS run. Each allowed
+  // class survives with p = 0.65; a run that drew none gets link faults (the
+  // mildest class) so every plan perturbs something.
+  bool crashes = spec.crashes && (spec.crashable_mask != 0) && rng.NextBool(0.65);
+  bool partitions = spec.partitions && spec.num_sites >= 2 && rng.NextBool(0.65);
+  bool links = spec.link_faults && rng.NextBool(0.65);
+  bool skew = spec.skew && rng.NextBool(0.65);
+  if (!crashes && !partitions && !links && !skew) links = true;
+
+  std::vector<FaultKind> kinds;
+  if (crashes) {
+    kinds.push_back(FaultKind::kCrash);
+    kinds.push_back(FaultKind::kRecover);
+  }
+  if (partitions) {
+    kinds.push_back(FaultKind::kPartition);
+    kinds.push_back(FaultKind::kHeal);
+  }
+  if (links) {
+    kinds.push_back(FaultKind::kLinkLoss);
+    kinds.push_back(FaultKind::kLinkDelay);
+    kinds.push_back(FaultKind::kLinkDup);
+    kinds.push_back(FaultKind::kLinkLossOne);
+  }
+  if (skew) kinds.push_back(FaultKind::kTimeoutSkew);
+
+  uint32_t n_events = static_cast<uint32_t>(
+      rng.NextInt(1, std::max<uint32_t>(1, spec.max_events)));
+  plan.events.reserve(n_events);
+
+  std::vector<uint32_t> crashable;
+  for (uint32_t s = 0; s < spec.num_sites; ++s) {
+    if (spec.crashable_mask & (1u << s)) crashable.push_back(s);
+  }
+
+  for (uint32_t i = 0; i < n_events; ++i) {
+    FaultEvent e;
+    e.at = static_cast<SimTime>(rng.NextBounded(
+        static_cast<uint64_t>(std::max<SimTime>(1, spec.horizon_us))));
+    e.kind = kinds[rng.NextBounded(kinds.size())];
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        e.site = crashable[rng.NextBounded(crashable.size())];
+        break;
+      case FaultKind::kPartition:
+        e.site = DrawPartitionMask(rng, spec.num_sites);
+        break;
+      case FaultKind::kHeal:
+        break;
+      case FaultKind::kLinkLoss:
+        e.arg = rng.NextBounded(1001);  // up to total silence
+        break;
+      case FaultKind::kLinkDelay:
+        e.arg = static_cast<uint64_t>(rng.NextInt(200, 20'000));
+        break;
+      case FaultKind::kLinkDup:
+        e.arg = rng.NextBounded(401);
+        break;
+      case FaultKind::kLinkLossOne:
+        e.site = static_cast<uint32_t>(
+            rng.NextBounded(uint64_t{spec.num_sites} * spec.num_sites));
+        e.arg = rng.NextBounded(1001);
+        break;
+      case FaultKind::kTimeoutSkew:
+        e.site = static_cast<uint32_t>(rng.NextBounded(spec.num_sites));
+        e.arg = static_cast<uint64_t>(rng.NextInt(500, 2000));
+        break;
+    }
+    plan.events.push_back(e);
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace dvp::chaos

@@ -1,0 +1,77 @@
+// FaultPlan: a timed program of faults, drawn from a single seed. This is
+// the chaos harness's search space — one plan entry is one fault action at
+// one virtual instant, and a whole adversarial schedule (site crashes and
+// recoveries, partition reshuffles, per-link loss/delay/duplication ramps,
+// clock-skewed timeouts) is just a vector of entries. Because the plan is
+// plain data, a failing run can be *shrunk* (entries deleted, times
+// advanced) and the minimal plan pasted into a regression test as a literal.
+//
+// Generation follows the swarm-testing result: rather than one fixed fault
+// mix, each seed first draws WHICH fault classes are active this run, then
+// draws a program over the active classes — randomized mixes find more bugs
+// than any single hand-tuned mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dvp::chaos {
+
+enum class FaultKind : uint8_t {
+  kCrash = 0,     ///< crash site `site`
+  kRecover,       ///< recover site `site` (no-op when up / mid-recovery)
+  kPartition,     ///< split sites into two groups by the bitmask in `site`
+  kHeal,          ///< restore full connectivity
+  kLinkLoss,      ///< all links: loss probability = arg / 1000
+  kLinkDelay,     ///< all links: base delay = arg us, jitter mean = arg / 2
+  kLinkDup,       ///< all links: duplication probability = arg / 1000
+  kLinkLossOne,   ///< one directed link (`site` = src * n + dst): loss = arg/1000
+  kTimeoutSkew,   ///< site `site`: future txn timeouts scale by arg / 1000
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One fault action. Aggregate — regression tests paste shrunk plans as
+/// brace-literals, so keep this free of constructors.
+struct FaultEvent {
+  SimTime at = 0;       ///< virtual time the fault fires
+  FaultKind kind = FaultKind::kHeal;
+  uint32_t site = 0;    ///< target site / partition bitmask / link index
+  uint64_t arg = 0;     ///< magnitude (permille or microseconds, per kind)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< sorted by `at` (ties in plan order)
+
+  /// C++ brace-literal for pasting into a regression test, e.g.
+  ///   {{120000, chaos::FaultKind::kCrash, 2, 0}, ...}
+  std::string ToLiteral() const;
+  /// Human-readable multi-line summary for logs.
+  std::string ToString() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Knobs bounding what a generated plan may contain. Property tests narrow
+/// these (e.g. the non-blocking test forbids crashing the submitting site);
+/// the swarm runner leaves them wide open.
+struct PlanSpec {
+  uint32_t num_sites = 4;
+  SimTime horizon_us = 2'000'000;  ///< faults are drawn in [0, horizon)
+  uint32_t max_events = 24;        ///< plan length is drawn in [1, max]
+  uint32_t crashable_mask = ~0u;   ///< bit s set = site s may crash
+  bool crashes = true;
+  bool partitions = true;
+  bool link_faults = true;
+  bool skew = true;
+};
+
+/// Draws a fault plan from `seed`. Same (seed, spec) → same plan, always.
+FaultPlan GeneratePlan(uint64_t seed, const PlanSpec& spec);
+
+}  // namespace dvp::chaos

@@ -1,0 +1,148 @@
+#include "chaos/oracles.h"
+
+#include <map>
+#include <variant>
+
+#include "dvpcore/value_store.h"
+#include "recovery/recovery.h"
+#include "verify/conservation.h"
+#include "wal/record.h"
+
+namespace dvp::chaos {
+
+namespace {
+
+struct VmLedger {
+  uint64_t creates = 0;
+  uint64_t accepts = 0;
+  uint64_t acks = 0;
+  ItemId created_item;
+  int64_t created_amount = 0;
+  ItemId accepted_item;
+  int64_t accepted_amount = 0;
+};
+
+}  // namespace
+
+Status CheckExactlyOnce(std::span<const wal::StableStorage* const> storages) {
+  std::map<VmId, VmLedger> ledger;
+  for (const wal::StableStorage* storage : storages) {
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, storage->log_size(),
+        [&](Lsn, const wal::LogRecord& rec) {
+          if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+            VmLedger& l = ledger[c->vm];
+            ++l.creates;
+            l.created_item = c->item;
+            l.created_amount = c->amount;
+          } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+            VmLedger& l = ledger[a->vm];
+            ++l.accepts;
+            l.accepted_item = a->item;
+            l.accepted_amount = a->amount;
+          } else if (const auto* k = std::get_if<wal::VmAckedRec>(&rec)) {
+            ++ledger[k->vm].acks;
+          }
+        },
+        &ignored);
+  }
+  for (const auto& [vm, l] : ledger) {
+    std::string id = "vm " + vm.ToString();
+    if (l.creates > 1) {
+      return Status::Internal("exactly-once: " + id + " created " +
+                              std::to_string(l.creates) + " times");
+    }
+    if (l.accepts > 1) {
+      return Status::Internal("exactly-once: " + id + " accepted " +
+                              std::to_string(l.accepts) +
+                              " times across the system");
+    }
+    if (l.accepts == 1 && l.creates == 0) {
+      return Status::Internal("exactly-once: " + id +
+                              " accepted without a creation record");
+    }
+    if (l.accepts == 1 &&
+        (l.accepted_item != l.created_item ||
+         l.accepted_amount != l.created_amount)) {
+      return Status::Internal(
+          "exactly-once: " + id + " accepted (item " +
+          l.accepted_item.ToString() + ", amount " +
+          std::to_string(l.accepted_amount) + ") != created (item " +
+          l.created_item.ToString() + ", amount " +
+          std::to_string(l.created_amount) + ")");
+    }
+    if (l.acks > 0 && l.accepts == 0) {
+      return Status::Internal("exactly-once: " + id +
+                              " acked at the sender but never accepted");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckWalPrefixes(const wal::StableStorage& storage,
+                        const core::Catalog& catalog,
+                        uint64_t exhaustive_limit) {
+  uint64_t from = storage.checkpoint_upto();
+  uint64_t size = storage.log_size();
+  uint64_t suffix = size - from;
+  uint64_t stride =
+      suffix <= exhaustive_limit ? 1 : (suffix / exhaustive_limit + 1);
+  for (uint64_t limit = from;; limit += stride) {
+    // Always include the full-log prefix even when striding.
+    if (limit > size) limit = size;
+    core::ValueStore scratch(&catalog);
+    recovery::RecoveryReport report;
+    Status s = recovery::RebuildStorePrefix(storage, limit, &scratch, &report);
+    if (!s.ok()) {
+      return Status::Internal("wal-prefix: site " + storage.site().ToString() +
+                              " prefix " + std::to_string(limit) +
+                              " fails to rebuild: " + s.message());
+    }
+    if (report.valid_prefix < limit) {
+      return Status::Internal("wal-prefix: site " + storage.site().ToString() +
+                              " record " +
+                              std::to_string(report.valid_prefix) +
+                              " is undecodable mid-log");
+    }
+    for (ItemId item : catalog.AllItems()) {
+      core::Value v = scratch.value(item);
+      if (!catalog.domain(item).ValidFragment(v)) {
+        return Status::Internal(
+            "wal-prefix: site " + storage.site().ToString() + " prefix " +
+            std::to_string(limit) + " rebuilds item " + item.ToString() +
+            " to domain-invalid value " + std::to_string(v));
+      }
+    }
+    if (limit == size) break;
+  }
+  return Status::OK();
+}
+
+Status CheckInvariants(const system::Cluster& cluster,
+                       const OracleOptions& opts) {
+  auto storages = cluster.Storages();
+  if (opts.conservation) {
+    Status s = verify::AuditAll(storages, cluster.catalog());
+    if (!s.ok()) return s;
+  }
+  if (opts.volatile_view) {
+    Status s =
+        verify::AuditAll(storages, cluster.catalog(), cluster.LiveView());
+    if (!s.ok()) return s;
+  }
+  if (opts.exactly_once) {
+    Status s = CheckExactlyOnce(storages);
+    if (!s.ok()) return s;
+  }
+  if (opts.wal_prefix) {
+    for (const wal::StableStorage* storage : storages) {
+      Status s = CheckWalPrefixes(*storage, cluster.catalog(),
+                                  opts.wal_prefix_exhaustive_limit);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dvp::chaos

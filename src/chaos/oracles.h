@@ -1,0 +1,53 @@
+// Mid-flight invariant oracles. Each is a pure check over the cluster's
+// current state, designed to be evaluated at *random instants during* a
+// chaos run — not only at quiescence. A violation returns an Internal status
+// whose message names the oracle and the offending state.
+//
+//  * conservation (durable)  — §3's Σ fragments + Σ live Vm = N, computed
+//    from stable storage alone (verify::AuditAll).
+//  * conservation (volatile) — the same sum with every up site's live
+//    in-memory fragment substituted, plus volatile/durable agreement; the
+//    stores are written in lockstep with log forces, so divergence at an
+//    event boundary is a bug the stable view cannot see.
+//  * exactly-once Vm accounting — across all logs: a VmId is created at most
+//    once, accepted at most once system-wide, every acceptance matches its
+//    creation's (item, amount), and a sender's VmAckedRec implies a durable
+//    acceptance somewhere.
+//  * WAL-prefix recoverability — every prefix of every site's log (from the
+//    checkpoint on) rebuilds without error into domain-valid fragments: no
+//    crash point leaves a state recovery cannot handle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "dvpcore/catalog.h"
+#include "system/cluster.h"
+#include "wal/stable_storage.h"
+
+namespace dvp::chaos {
+
+struct OracleOptions {
+  bool conservation = true;
+  bool volatile_view = true;
+  bool exactly_once = true;
+  bool wal_prefix = true;
+  /// WAL-prefix audit is O(suffix²); beyond this many suffix records the
+  /// prefixes are strided instead of exhaustive.
+  uint64_t wal_prefix_exhaustive_limit = 400;
+};
+
+/// Exactly-once Vm accounting over all logs.
+Status CheckExactlyOnce(std::span<const wal::StableStorage* const> storages);
+
+/// WAL-prefix recoverability for one site's log.
+Status CheckWalPrefixes(const wal::StableStorage& storage,
+                        const core::Catalog& catalog,
+                        uint64_t exhaustive_limit);
+
+/// Runs every enabled oracle against the cluster; first violation wins.
+Status CheckInvariants(const system::Cluster& cluster,
+                       const OracleOptions& opts);
+
+}  // namespace dvp::chaos

@@ -1,0 +1,115 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+namespace dvp::chaos {
+
+namespace {
+
+/// Re-runs a candidate; true iff it still fails (and then records the
+/// failure). Respects the execution budget.
+bool StillFails(const ChaosCase& cand, const ShrinkOptions& opts,
+                uint32_t* runs, RunResult* out) {
+  if (*runs >= opts.max_runs) return false;
+  ++*runs;
+  RunOptions ro = opts.run;
+  ro.record_trace = false;
+  RunResult r = RunCase(cand, ro);
+  bool failed = !r.ok;
+  if (failed) *out = std::move(r);
+  return failed;
+}
+
+/// One greedy deletion sweep at the given chunk size. Returns true if any
+/// deletion stuck.
+bool DeletePass(ChaosCase* cur, size_t chunk, const ShrinkOptions& opts,
+                uint32_t* runs, RunResult* best) {
+  bool progress = false;
+  size_t i = 0;
+  while (i < cur->plan.events.size() && *runs < opts.max_runs) {
+    ChaosCase cand = *cur;
+    size_t n = std::min(chunk, cand.plan.events.size() - i);
+    cand.plan.events.erase(cand.plan.events.begin() + i,
+                           cand.plan.events.begin() + i + n);
+    if (StillFails(cand, opts, runs, best)) {
+      *cur = std::move(cand);
+      progress = true;  // retry the same index against the shorter plan
+    } else {
+      i += n;
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const ChaosCase& c, const ShrinkOptions& opts) {
+  ShrinkResult sr;
+  sr.minimal = c;
+
+  RunOptions ro = opts.run;
+  ro.record_trace = false;
+  sr.result = RunCase(c, ro);
+  sr.runs = 1;
+  sr.original_violation = sr.result.violation;
+  if (sr.result.ok) return sr;  // nothing to shrink
+
+  ChaosCase cur = c;
+
+  // Phase 1 — delete fault-plan entries: halves, quarters, ... then singles.
+  size_t chunk = std::max<size_t>(1, cur.plan.events.size() / 2);
+  while (sr.runs < opts.max_runs) {
+    bool progress = DeletePass(&cur, chunk, opts, &sr.runs, &sr.result);
+    if (!progress) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+
+  // Phase 2 — advance survivors toward t=0: an early fault is a simpler
+  // story than a mid-run one, and collapsed timings shorten the replay.
+  for (size_t i = 0; i < cur.plan.events.size() && sr.runs < opts.max_runs;
+       ++i) {
+    for (SimTime t : {SimTime{0}, cur.plan.events[i].at / 2}) {
+      if (t >= cur.plan.events[i].at) continue;
+      ChaosCase cand = cur;
+      cand.plan.events[i].at = t;
+      if (StillFails(cand, opts, &sr.runs, &sr.result)) {
+        cur = std::move(cand);
+        break;
+      }
+    }
+  }
+
+  // Phase 3 — shrink the workload. Smaller txn counts reuse a prefix of the
+  // same precomputed action stream, so the reduction is monotone.
+  for (uint32_t t : {cur.workload.txns / 8, cur.workload.txns / 4,
+                     cur.workload.txns / 2}) {
+    if (t == 0 || t >= cur.workload.txns || sr.runs >= opts.max_runs) continue;
+    ChaosCase cand = cur;
+    cand.workload.txns = t;
+    if (StillFails(cand, opts, &sr.runs, &sr.result)) {
+      cur = std::move(cand);
+      break;
+    }
+  }
+
+  // Phase 4 — drop the schedule perturbation if the failure is not
+  // interleaving-dependent.
+  if (cur.perturb_seed != 0 && sr.runs < opts.max_runs) {
+    ChaosCase cand = cur;
+    cand.perturb_seed = 0;
+    cand.max_jitter_us = 0;
+    if (StillFails(cand, opts, &sr.runs, &sr.result)) cur = std::move(cand);
+  }
+
+  // Phase 5 — the smaller workload may have unlocked more deletions.
+  while (sr.runs < opts.max_runs &&
+         DeletePass(&cur, 1, opts, &sr.runs, &sr.result)) {
+  }
+
+  sr.minimal = std::move(cur);
+  return sr;
+}
+
+}  // namespace dvp::chaos

@@ -1,0 +1,39 @@
+// Counterexample shrinking. Because a run is a pure function of its
+// ChaosCase, a failing case can be minimised mechanically: greedily delete
+// fault-plan entries (ddmin-style chunks, then singles), advance survivors
+// toward t=0, shrink the workload, and drop the schedule perturbation — each
+// candidate is re-run and kept only if the failure persists. The result is a
+// paste-able one-line ChaosCase literal for a regression test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/harness.h"
+
+namespace dvp::chaos {
+
+struct ShrinkOptions {
+  /// The run configuration the failure was observed under; every candidate
+  /// is re-executed with exactly these options (traces disabled).
+  RunOptions run;
+  /// Re-execution budget. Shrinking stops — keeping the best case so far —
+  /// when it is exhausted.
+  uint32_t max_runs = 200;
+};
+
+struct ShrinkResult {
+  ChaosCase minimal;
+  /// The failing result of `minimal`.
+  RunResult result;
+  /// Violation message of the *original* case (shrinking may surface a
+  /// different oracle; any failure counts as reproducing).
+  std::string original_violation;
+  uint32_t runs = 0;  ///< executions spent, including the initial replay
+};
+
+/// Minimises a failing case. If `c` does not actually fail under `opts.run`,
+/// returns it unchanged with result.ok == true.
+ShrinkResult Shrink(const ChaosCase& c, const ShrinkOptions& opts = {});
+
+}  // namespace dvp::chaos

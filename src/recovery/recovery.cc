@@ -18,6 +18,11 @@ void Redo(const wal::FragmentWrite& w, core::ValueStore* store,
 
 Status RebuildStore(const wal::StableStorage& storage,
                     core::ValueStore* store, RecoveryReport* report) {
+  return RebuildStorePrefix(storage, storage.log_size(), store, report);
+}
+
+Status RebuildStorePrefix(const wal::StableStorage& storage, uint64_t upto,
+                          core::ValueStore* store, RecoveryReport* report) {
   // Start from the checkpointed image.
   for (const auto& [item, entry] : storage.image()) {
     store->Install(item, entry.value, Timestamp::FromPacked(entry.ts_packed));
@@ -29,8 +34,9 @@ Status RebuildStore(const wal::StableStorage& storage,
         std::max(max_counter, Timestamp::FromPacked(ts_packed).counter());
   };
 
-  Status scan = storage.Scan(
-      storage.checkpoint_upto(), [&](Lsn, const wal::LogRecord& rec) {
+  Status scan = storage.ScanPrefix(
+      storage.checkpoint_upto(), upto,
+      [&](Lsn, const wal::LogRecord& rec) {
         ++report->records_replayed;
         if (const auto* commit = std::get_if<wal::TxnCommitRec>(&rec)) {
           ++report->committed_txns;
@@ -47,8 +53,10 @@ Status RebuildStore(const wal::StableStorage& storage,
         } else if (const auto* recov = std::get_if<wal::RecoveryRec>(&rec)) {
           max_counter = std::max(max_counter, recov->clock_counter);
         }
-      });
+      },
+      &report->valid_prefix);
   if (!scan.ok()) return scan;
+  report->torn_tail = report->valid_prefix < std::min(upto, storage.log_size());
 
   // The image's timestamps also bound the clock (commits before the
   // checkpoint are only in the image).

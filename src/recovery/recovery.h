@@ -27,13 +27,31 @@ struct RecoveryReport {
   uint64_t vm_accepts = 0;        ///< Vm deaths seen in the suffix
   uint64_t clock_counter = 0;     ///< restored Lamport watermark
   uint64_t remote_messages_needed = 0;  ///< always 0 — the headline claim
+  /// Records [checkpoint, valid_prefix) decoded cleanly; valid_prefix ==
+  /// log_size when the log is intact. Replay never reads past the first
+  /// damaged record — a torn or corrupted tail costs the unforced suffix,
+  /// never the site.
+  uint64_t valid_prefix = 0;
+  /// True when the log ended in an undecodable record (torn write / bit
+  /// rot). The caller should Truncate() the log to valid_prefix before
+  /// appending anything new.
+  bool torn_tail = false;
 };
 
 /// Rebuilds `store` (which must be freshly constructed) from `storage`'s
 /// image and log suffix, and computes the Lamport watermark. Does not touch
-/// the network. Returns Corruption if the log is damaged.
+/// the network. Replay stops at the last valid log prefix: a damaged record
+/// ends the redo there (reported via valid_prefix / torn_tail) rather than
+/// failing recovery — the records beyond it were never safely forced.
 Status RebuildStore(const wal::StableStorage& storage, core::ValueStore* store,
                     RecoveryReport* report);
+
+/// Like RebuildStore but replays only log records with LSN < `upto` — the
+/// state a crash immediately after record `upto - 1` would recover to. The
+/// chaos harness checks every such prefix is a sane state (the WAL-prefix
+/// recoverability oracle).
+Status RebuildStorePrefix(const wal::StableStorage& storage, uint64_t upto,
+                          core::ValueStore* store, RecoveryReport* report);
 
 /// Simulated duration of the redo pass: `us_per_record` per suffix record.
 SimTime RecoveryDuration(const wal::StableStorage& storage,

@@ -7,8 +7,17 @@ namespace dvp::sim {
 
 EventHandle Kernel::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
+  uint64_t seq = next_seq_++;
+  uint64_t tie = seq;
+  if (perturb_rng_) {
+    if (perturb_.max_jitter_us > 0) {
+      when += static_cast<SimTime>(perturb_rng_->NextBounded(
+          static_cast<uint64_t>(perturb_.max_jitter_us) + 1));
+    }
+    if (perturb_.shuffle_ties) tie = perturb_rng_->NextU64();
+  }
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
+  queue_.push(Event{when, tie, seq, std::move(fn), flag});
   return EventHandle(flag);
 }
 

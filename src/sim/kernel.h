@@ -9,12 +9,31 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace dvp::sim {
+
+/// Opt-in schedule perturbation: the chaos harness searches *interleavings*,
+/// not just fault timings, by (a) randomising the order of same-timestamp
+/// events and (b) adding bounded random delay to every scheduled event. Both
+/// draws happen at ScheduleAt time from a dedicated seeded stream, so a
+/// perturbed run is still a pure function of (seed, schedule) — replayable
+/// and shrinkable. Disabled (the default) the kernel is byte-identical to
+/// the unperturbed FIFO tie-break behaviour.
+struct PerturbOptions {
+  uint64_t seed = 0;
+  /// Randomise execution order among events with equal timestamps.
+  bool shuffle_ties = false;
+  /// Uniform extra delay in [0, max_jitter_us] added to every event's time.
+  SimTime max_jitter_us = 0;
+
+  bool enabled() const { return shuffle_ties || max_jitter_us > 0; }
+};
 
 /// Handle to a scheduled event; allows cancellation (used for transaction
 /// timeout counters that are disarmed when all replies arrive).
@@ -80,16 +99,26 @@ class Kernel {
     post_event_hook_ = std::move(hook);
   }
 
+  /// Enables schedule perturbation. Call before any events are scheduled;
+  /// affects every subsequent ScheduleAt.
+  void EnablePerturbation(const PerturbOptions& opts) {
+    perturb_ = opts;
+    if (opts.enabled()) perturb_rng_.emplace(opts.seed * 0x9e3779b97f4a7c15ull + 0x5eed);
+  }
+  const PerturbOptions& perturbation() const { return perturb_; }
+
  private:
   struct Event {
     SimTime when;
-    uint64_t seq;  // FIFO tie-break at equal times
+    uint64_t tie;  // FIFO seq, or a random key when shuffle_ties is on
+    uint64_t seq;  // unique; final tie-break keeps the order total
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
@@ -107,6 +136,8 @@ class Kernel {
   uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::function<void()> post_event_hook_;
+  PerturbOptions perturb_;
+  std::optional<Rng> perturb_rng_;
 };
 
 }  // namespace dvp::sim

@@ -104,6 +104,12 @@ void Site::Recover(
     Status s = recovery::RebuildStore(*storage_, store_.get(), &report);
     assert(s.ok() && "log corruption during recovery");
     (void)s;
+    if (report.torn_tail) {
+      // The damaged suffix was never safely forced; drop it so future
+      // appends (and future recoveries) see a clean log.
+      storage_->Truncate(report.valid_prefix);
+      counters_.Inc("recovery.torn_tail");
+    }
 
     // §7: stale local counters are safe; restore the watermark we have.
     clock_.Reset(report.clock_counter);

@@ -66,6 +66,10 @@ class Site {
 
   bool IsUp() const { return up_; }
 
+  /// True while a Recover() is scheduled but not yet complete; a second
+  /// Recover (or a Crash) must wait it out.
+  bool IsRecovering() const { return recovering_; }
+
   /// Flushes the fragment store to the stable image and advances the
   /// checkpoint, shortening future recoveries.
   void Checkpoint();

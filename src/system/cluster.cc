@@ -15,6 +15,7 @@ std::vector<core::Value> SplitEven(core::Value total, uint32_t n) {
 
 Cluster::Cluster(const core::Catalog* catalog, ClusterOptions options)
     : catalog_(catalog), options_(options), rng_(options.seed) {
+  kernel_.EnablePerturbation(options_.perturb);
   network_ = std::make_unique<net::Network>(&kernel_, options_.num_sites,
                                             options_.link, rng_.Fork(1));
   storages_.reserve(options_.num_sites);
@@ -112,6 +113,19 @@ verify::ConservationBreakdown Cluster::Audit(ItemId item) const {
 Status Cluster::AuditAll() const {
   auto storages = Storages();
   return verify::AuditAll(storages, *catalog_);
+}
+
+verify::LiveValueFn Cluster::LiveView() const {
+  return [this](SiteId s, ItemId item) -> std::optional<core::Value> {
+    const site::Site& site = *sites_[s.value()];
+    if (!site.IsUp()) return std::nullopt;
+    return site.LocalValue(item);
+  };
+}
+
+Status Cluster::AuditAllVolatile() const {
+  auto storages = Storages();
+  return verify::AuditAll(storages, *catalog_, LiveView());
 }
 
 CounterSet Cluster::AggregateCounters() const {

@@ -36,6 +36,9 @@ struct ClusterOptions {
   uint64_t seed = 42;
   net::LinkParams link;
   site::SiteOptions site;
+  /// Schedule perturbation (chaos runs search interleavings with this);
+  /// disabled by default — see sim::PerturbOptions.
+  sim::PerturbOptions perturb;
 
   /// Convenience: configure for Conc2 (strict 2PL + ordered broadcast).
   /// Forces synchronous, loss-free FIFO links — Conc2's stated environment.
@@ -100,6 +103,15 @@ class Cluster {
   verify::ConservationBreakdown Audit(ItemId item) const;
   /// Checks the conservation invariant for all items.
   Status AuditAll() const;
+
+  /// Checks conservation in *both* views: the durable one and the volatile
+  /// one, where every up site contributes its live in-memory fragment
+  /// instead of its durable rebuild. Catches cache/WAL divergence that the
+  /// stable-storage audit alone cannot see.
+  Status AuditAllVolatile() const;
+
+  /// The live-value accessor the volatile audit uses (up sites only).
+  verify::LiveValueFn LiveView() const;
 
   /// Current durable item total (fragments + in-flight).
   core::Value TotalOf(ItemId item) const { return Audit(item).total(); }

@@ -154,7 +154,8 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   ref.rounds = 1;
   ArmReadRetry(ref);
   TxnId timeout_id = id;
-  ref.timeout = kernel_->Schedule(options_.timeout_us, [this, timeout_id]() {
+  SimTime timeout_us = options_.timeout_us * timeout_skew_permille_ / 1000;
+  ref.timeout = kernel_->Schedule(timeout_us, [this, timeout_id]() {
     auto it = pending_.find(timeout_id);
     if (it == pending_.end()) return;
     Abort(*it->second, TxnOutcome::kAbortTimeout, "redistribution timeout");

@@ -93,6 +93,16 @@ class TxnManager {
   size_t pending_count() const { return pending_.size(); }
   const TxnManagerOptions& options() const { return options_; }
 
+  /// Chaos clock-skew knob: transactions submitted from now on arm their §5
+  /// timeout at timeout_us * permille / 1000 — a site whose clock runs slow
+  /// (permille > 1000) waits longer before giving up, one that runs fast
+  /// gives up sooner. The non-blocking bound scales accordingly. Volatile:
+  /// a crash/rebuild resets it to 1000.
+  void set_timeout_skew_permille(uint32_t permille) {
+    timeout_skew_permille_ = permille == 0 ? 1 : permille;
+  }
+  uint32_t timeout_skew_permille() const { return timeout_skew_permille_; }
+
  private:
   struct ReadState {
     uint32_t round = 1;
@@ -151,6 +161,7 @@ class TxnManager {
   Rng rng_;
   TxnManagerOptions options_;
   cc::CcPolicy policy_;
+  uint32_t timeout_skew_permille_ = 1000;
 
   std::map<TxnId, std::unique_ptr<PendingTxn>> pending_;
 };

@@ -10,8 +10,9 @@ namespace dvp::verify {
 
 ConservationBreakdown AuditItem(
     std::span<const wal::StableStorage* const> storages,
-    const core::Catalog& catalog, ItemId item) {
+    const core::Catalog& catalog, ItemId item, const LiveValueFn& live) {
   ConservationBreakdown out;
+  out.has_volatile = static_cast<bool>(live);
 
   struct LiveVm {
     core::Value amount = 0;
@@ -21,40 +22,50 @@ ConservationBreakdown AuditItem(
   std::set<VmId> accepted;
 
   for (const wal::StableStorage* storage : storages) {
-    // Durable fragment value = what recovery would rebuild.
+    // Durable fragment value = what recovery would rebuild. Replay stops at
+    // the last valid log prefix, exactly as a real recovery would.
     core::ValueStore scratch(&catalog);
     recovery::RecoveryReport report;
     Status s = recovery::RebuildStore(*storage, &scratch, &report);
-    if (!s.ok()) continue;  // corrupted log: fragment contributes nothing
-    out.site_total += scratch.value(item);
+    if (!s.ok()) continue;  // unreadable image: fragment contributes nothing
+    core::Value durable = scratch.value(item);
+    out.site_total += durable;
+    if (live) {
+      std::optional<core::Value> v = live(storage->site(), item);
+      out.volatile_site_total += v.value_or(durable);
+    }
 
-    Status scan = storage->Scan(0, [&](Lsn, const wal::LogRecord& rec) {
-      if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
-        created[c->vm] = LiveVm{c->amount, c->item};
-      } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
-        accepted.insert(a->vm);
-      } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
-        for (const auto& w : t->writes) {
-          if (w.item == item) out.committed_delta += w.delta;
-        }
-      }
-    });
-    (void)scan;
+    // The Vm liveness scan must read the same prefix the rebuild did.
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, report.valid_prefix,
+        [&](Lsn, const wal::LogRecord& rec) {
+          if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+            created[c->vm] = LiveVm{c->amount, c->item};
+          } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+            accepted.insert(a->vm);
+          } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
+            for (const auto& w : t->writes) {
+              if (w.item == item) out.committed_delta += w.delta;
+            }
+          }
+        },
+        &ignored);
   }
 
-  for (const auto& [vm, live] : created) {
-    if (live.item != item) continue;
+  for (const auto& [vm, live_vm] : created) {
+    if (live_vm.item != item) continue;
     if (accepted.contains(vm)) continue;
-    out.in_flight += live.amount;
+    out.in_flight += live_vm.amount;
     ++out.live_vms;
   }
   return out;
 }
 
 Status AuditAll(std::span<const wal::StableStorage* const> storages,
-                const core::Catalog& catalog) {
+                const core::Catalog& catalog, const LiveValueFn& live) {
   for (ItemId item : catalog.AllItems()) {
-    ConservationBreakdown b = AuditItem(storages, catalog, item);
+    ConservationBreakdown b = AuditItem(storages, catalog, item, live);
     core::Value expect = catalog.info(item).initial_total + b.committed_delta;
     if (b.total() != expect) {
       return Status::Internal(
@@ -62,6 +73,15 @@ Status AuditAll(std::span<const wal::StableStorage* const> storages,
           ": fragments=" + std::to_string(b.site_total) +
           " in_flight=" + std::to_string(b.in_flight) +
           " committed_delta=" + std::to_string(b.committed_delta) +
+          " expected=" + std::to_string(expect));
+    }
+    if (b.has_volatile && b.volatile_total() != expect) {
+      return Status::Internal(
+          "volatile conservation violated for item " +
+          catalog.info(item).name +
+          ": live_fragments=" + std::to_string(b.volatile_site_total) +
+          " (durable=" + std::to_string(b.site_total) +
+          ") in_flight=" + std::to_string(b.in_flight) +
           " expected=" + std::to_string(expect));
     }
   }

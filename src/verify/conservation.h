@@ -5,9 +5,18 @@
 // both terms purely from stable storage, so it is meaningful even mid-crash:
 // a site's fragment is what its recovery would reconstruct, and a Vm is live
 // exactly when its creation record exists and no acceptance record does.
+//
+// A second, in-memory view audits the *volatile* state alongside the stable
+// one: every up site's live fragment store must agree with what its log
+// would rebuild (the stores are updated in lockstep with log forces, so any
+// divergence at an event boundary is a bug), and the conservation sum holds
+// with live values substituted for up sites. The chaos harness evaluates
+// both views at random instants during a run, not only at quiescence.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 
 #include "common/status.h"
@@ -26,17 +35,35 @@ struct ConservationBreakdown {
   core::Value committed_delta = 0;
   uint64_t live_vms = 0;
 
+  /// Σ_i N_i with each *up* site's live in-memory fragment substituted for
+  /// its durable one (down sites contribute their durable value). Only
+  /// meaningful when a live view was supplied to the audit.
+  core::Value volatile_site_total = 0;
+  bool has_volatile = false;
+
   core::Value total() const { return site_total + in_flight; }
+  core::Value volatile_total() const { return volatile_site_total + in_flight; }
 };
 
-/// Computes the breakdown for one item across all sites.
+/// Live-state accessor for the volatile view: returns the in-memory fragment
+/// value of `item` at `site`, or nullopt when the site is down (its durable
+/// value is used instead). Null function = stable-storage-only audit.
+using LiveValueFn =
+    std::function<std::optional<core::Value>(SiteId, ItemId)>;
+
+/// Computes the breakdown for one item across all sites. With `live`, also
+/// fills the volatile view.
 ConservationBreakdown AuditItem(
     std::span<const wal::StableStorage* const> storages,
-    const core::Catalog& catalog, ItemId item);
+    const core::Catalog& catalog, ItemId item,
+    const LiveValueFn& live = nullptr);
 
 /// Checks every catalog item against its initial total; returns the first
-/// violation as an Internal status.
+/// violation as an Internal status. With `live`, additionally checks that
+/// the volatile sum conserves and that every up site's live fragment matches
+/// its durable rebuild (volatile/durable coherence).
 Status AuditAll(std::span<const wal::StableStorage* const> storages,
-                const core::Catalog& catalog);
+                const core::Catalog& catalog,
+                const LiveValueFn& live = nullptr);
 
 }  // namespace dvp::verify

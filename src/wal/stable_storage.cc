@@ -1,5 +1,7 @@
 #include "wal/stable_storage.h"
 
+#include <algorithm>
+
 namespace dvp::wal {
 
 Lsn StableStorage::Append(const LogRecord& record) {
@@ -31,6 +33,48 @@ Status StableStorage::Scan(
     fn(Lsn(i), rec.value());
   }
   return Status::OK();
+}
+
+Status StableStorage::ScanPrefix(
+    uint64_t from, uint64_t upto,
+    const std::function<void(Lsn, const LogRecord&)>& fn,
+    uint64_t* valid_upto) const {
+  upto = std::min<uint64_t>(upto, encoded_.size());
+  for (uint64_t i = from; i < upto; ++i) {
+    auto rec = DecodeRecord(encoded_[i]);
+    if (!rec.ok()) {
+      if (valid_upto) *valid_upto = i;
+      return Status::OK();
+    }
+    fn(Lsn(i), rec.value());
+  }
+  if (valid_upto) *valid_upto = upto;
+  return Status::OK();
+}
+
+void StableStorage::Truncate(uint64_t new_size) {
+  while (encoded_.size() > new_size) {
+    log_bytes_ -= encoded_.back().size();
+    encoded_.pop_back();
+  }
+}
+
+Status StableStorage::TearTailForTest(size_t keep_bytes) {
+  if (encoded_.empty()) return Status::FailedPrecondition("empty log");
+  std::string& rec = encoded_.back();
+  if (keep_bytes >= rec.size()) {
+    return Status::InvalidArgument("keep_bytes does not shorten the record");
+  }
+  log_bytes_ -= rec.size() - keep_bytes;
+  rec.resize(keep_bytes);
+  return Status::OK();
+}
+
+StatusOr<size_t> StableStorage::RecordSizeForTest(Lsn lsn) const {
+  if (!lsn.valid() || lsn.value() >= encoded_.size()) {
+    return Status::NotFound("no record at lsn " + lsn.ToString());
+  }
+  return encoded_[lsn.value()].size();
 }
 
 Status StableStorage::CorruptRecordForTest(Lsn lsn, size_t byte_offset) {

@@ -46,6 +46,19 @@ class StableStorage {
   Status Scan(uint64_t from,
               const std::function<void(Lsn, const LogRecord&)>& fn) const;
 
+  /// Like Scan, but bounded to [from, upto) and tolerant of a damaged tail:
+  /// replay stops (returning OK) at the first undecodable record, reporting
+  /// how far it got in *valid_upto. A fully intact range yields
+  /// *valid_upto == upto. This is the read path recovery uses — a torn or
+  /// bit-rotted tail truncates the log instead of losing the site.
+  Status ScanPrefix(uint64_t from, uint64_t upto,
+                    const std::function<void(Lsn, const LogRecord&)>& fn,
+                    uint64_t* valid_upto) const;
+
+  /// Discards every record with LSN >= new_size (recovery drops a damaged
+  /// tail with this before appending new records after it).
+  void Truncate(uint64_t new_size);
+
   /// Total log appends (each is a force) — the E10 overhead metric.
   uint64_t forces() const { return forces_; }
   /// Total encoded log bytes.
@@ -80,6 +93,13 @@ class StableStorage {
 
   /// Flips one byte of an encoded record (corruption tests).
   Status CorruptRecordForTest(Lsn lsn, size_t byte_offset);
+
+  /// Models a torn write: the final record keeps only its first `keep_bytes`
+  /// bytes, as if the crash interrupted the force mid-sector.
+  Status TearTailForTest(size_t keep_bytes);
+
+  /// Encoded size of one record (lets tests iterate byte offsets).
+  StatusOr<size_t> RecordSizeForTest(Lsn lsn) const;
 
  private:
   SiteId site_;

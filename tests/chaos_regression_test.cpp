@@ -1,0 +1,98 @@
+// Pinned chaos reproducers for bugs fixed in earlier PRs. Each case is a
+// fixed ChaosCase literal driving the exact mechanism the fix guards, so a
+// regression trips an oracle (or the sanitizer build) here first.
+#include <gtest/gtest.h>
+
+#include "chaos/harness.h"
+
+namespace dvp {
+namespace {
+
+// The read-termination rule must compare (accept, create) counter PAIRS: a
+// kReadFull drains Π⁻¹(d) to the reader, and deciding on acceptance counts
+// alone terminates reads early when acceptances from one peer race
+// creations at another. This case keeps reads, redistribution and Vm
+// traffic concurrent under loss/duplication with crash/recovery of the
+// non-reading sites.
+TEST(ChaosRegression, ReadTerminationCountsAcceptCreatePairs) {
+  chaos::ChaosCase c;
+  c.seed = 401;
+  c.perturb_seed = 4011;
+  c.max_jitter_us = 150;
+  c.workload.sites = 4;
+  c.workload.items = 1;
+  c.workload.total = 160;
+  c.workload.txns = 60;
+  c.workload.gap_us = 25'000;
+  c.workload.read_permille = 400;
+  c.workload.redist_permille = 300;
+  c.workload.max_amount = 20;
+  c.workload.timeout_us = 150'000;
+  c.workload.loss_permille = 300;
+  c.workload.dup_permille = 200;
+  c.plan.events = {{200'000, chaos::FaultKind::kCrash, 2, 0},
+                   {500'000, chaos::FaultKind::kRecover, 2, 0},
+                   {700'000, chaos::FaultKind::kCrash, 3, 0},
+                   {1'000'000, chaos::FaultKind::kRecover, 3, 0}};
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << r.violation << "\n" << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
+}
+
+// A site crash must invalidate the dead Transport's scheduled retransmission
+// and delayed-ack timers (the PR-1 lifetime guard): heavy loss arms many
+// timers, then sites crash mid-backoff and are rebuilt. A regression is a
+// use-after-free the asan-ubsan ctest pass catches, or a stale-timer double
+// delivery the exactly-once oracle catches.
+TEST(ChaosRegression, CrashWithArmedTransportTimers) {
+  chaos::ChaosCase c;
+  c.seed = 402;
+  c.workload.sites = 4;
+  c.workload.items = 2;
+  c.workload.total = 200;
+  c.workload.txns = 50;
+  c.workload.gap_us = 20'000;
+  c.workload.redist_permille = 350;
+  c.workload.max_amount = 15;
+  c.workload.timeout_us = 150'000;
+  c.plan.events = {{50'000, chaos::FaultKind::kLinkLoss, 0, 800},
+                   {220'000, chaos::FaultKind::kCrash, 1, 0},
+                   {240'000, chaos::FaultKind::kCrash, 2, 0},
+                   {600'000, chaos::FaultKind::kRecover, 1, 0},
+                   {650'000, chaos::FaultKind::kRecover, 2, 0},
+                   {800'000, chaos::FaultKind::kLinkLoss, 0, 0},
+                   {900'000, chaos::FaultKind::kCrash, 1, 0},
+                   {1'200'000, chaos::FaultKind::kRecover, 1, 0}};
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << r.violation << "\n" << c.ToLiteral();
+}
+
+// Timeout skew: one site's timeout counter runs slow (paper §5 step 3 allows
+// any local timeout choice). The decision-latency oracle bound widens with
+// the skew — but every transaction must still decide within it.
+TEST(ChaosRegression, SkewedTimeoutsStillNonBlocking) {
+  chaos::ChaosCase c;
+  c.seed = 403;
+  c.workload.sites = 3;
+  c.workload.items = 1;
+  c.workload.total = 90;
+  c.workload.txns = 40;
+  c.workload.gap_us = 30'000;
+  c.workload.max_amount = 50;
+  c.workload.timeout_us = 120'000;
+  c.workload.loss_permille = 400;
+  c.plan.events = {{10'000, chaos::FaultKind::kTimeoutSkew, 1, 1900},
+                   {10'000, chaos::FaultKind::kTimeoutSkew, 2, 1400},
+                   {300'000, chaos::FaultKind::kPartition, 0b001, 0}};
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << r.violation << "\n" << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
+  // The bound the harness enforced accounts for the 1.9x skew.
+  EXPECT_GE(r.latency_bound_us, 120'000 * 19 / 10);
+}
+
+}  // namespace
+}  // namespace dvp

@@ -1,28 +1,42 @@
-// The non-blocking property (§2, §5), tested adversarially: under flapping
-// random partitions, crashes of remote sites, and total message loss, every
-// transaction submitted at an up site reaches its decision within
-// timeout + ε of local work — no decision ever depends on failure detection
-// or on another site's progress.
+// The non-blocking property (§2, §5), tested adversarially through the chaos
+// harness: under fault plans mixing partitions, remote crashes, total message
+// loss and timeout skew, every transaction submitted at an up site reaches
+// its decision within the (skewed) timeout + ε of local work — no decision
+// ever depends on failure detection or on another site's progress.
+//
+// Two layers:
+//  * Pinned — the pre-chaos fixed scenarios, re-expressed as ChaosCases, so
+//    the exact adversaries this suite has always run stay covered.
+//  * Swarm — seeded FaultPlan generation (site 0 never crashes; it is the
+//    submitter whose liveness the property is about).
 #include <gtest/gtest.h>
 
-#include "common/rng.h"
-#include "system/cluster.h"
+#include "chaos/fault_plan.h"
+#include "chaos/harness.h"
 
 namespace dvp {
 namespace {
 
-using core::CountDomain;
-using txn::TxnOp;
-using txn::TxnSpec;
-
-constexpr SimTime kTimeout = 200'000;
-// Decisions happen at commit, at the timeout, or at a crash; the bound is
-// the timeout plus the local compute window (zero here).
-constexpr SimTime kBound = kTimeout + 1'000;
+// Site 0 submits everything; the harness itself asserts decided == submitted
+// and max_latency <= skewed timeout + jitter + ε.
+chaos::WorkloadSpec NbWorkload(uint32_t loss_permille) {
+  chaos::WorkloadSpec w;
+  w.sites = 4;
+  w.items = 1;
+  w.total = 200;
+  w.txns = 60;
+  w.gap_us = 27'000;
+  w.submit_site = 0;
+  w.redist_permille = 0;
+  w.max_amount = 80;  // often exceeds the fragment: many gather rounds
+  w.timeout_us = 200'000;
+  w.loss_permille = loss_permille;
+  return w;
+}
 
 struct NbCase {
-  uint64_t seed;
-  double loss;
+  const char* name;
+  uint32_t loss_permille;
   SimTime flap_period_us;  // partition reshuffle period (0 = none)
   bool crash_remotes;
 };
@@ -30,80 +44,73 @@ struct NbCase {
 class NonBlockingTest : public ::testing::TestWithParam<NbCase> {};
 
 TEST_P(NonBlockingTest, EveryDecisionWithinBound) {
-  const NbCase& c = GetParam();
+  const NbCase& p = GetParam();
 
-  core::Catalog catalog;
-  ItemId item = catalog.AddItem("pool", CountDomain::Instance(), 200);
-  system::ClusterOptions opts;
-  opts.num_sites = 4;
-  opts.seed = c.seed;
-  opts.link.loss_prob = c.loss;
-  opts.site.txn.timeout_us = kTimeout;
-  system::Cluster cluster(&catalog, opts);
-  cluster.BootstrapEven();
-
-  Rng rng(c.seed * 7 + 3);
-
-  // Adversarial partition flapping. Declared at function scope: the
-  // self-rescheduling closure must outlive every RunFor below.
-  std::function<void()> flap;
-  if (c.flap_period_us > 0) {
-    flap = [&]() {
-      std::vector<SiteId> a, b;
+  chaos::ChaosCase c;
+  c.seed = 11;
+  c.workload = NbWorkload(p.loss_permille);
+  if (p.flap_period_us > 0) {
+    // Reshuffling partitions for the whole active window.
+    Rng rng(13);
+    for (SimTime t = p.flap_period_us; t < 2'000'000; t += p.flap_period_us) {
+      uint32_t mask;
       do {
-        a.clear();
-        b.clear();
-        for (uint32_t s = 0; s < 4; ++s) {
-          (rng.NextBool(0.5) ? a : b).push_back(SiteId(s));
-        }
-      } while (a.empty() || b.empty());
-      (void)cluster.Partition({a, b});
-      cluster.kernel().Schedule(c.flap_period_us, flap);
-    };
-    cluster.kernel().Schedule(c.flap_period_us, flap);
+        mask = static_cast<uint32_t>(rng.NextBounded(16));
+      } while (mask == 0 || mask == 15);
+      c.plan.events.push_back({t, chaos::FaultKind::kPartition, mask, 0});
+    }
   }
-  // Crash every remote site mid-run; site 0 must still decide everything.
-  if (c.crash_remotes) {
-    cluster.kernel().ScheduleAt(300'000, [&cluster]() {
-      for (uint32_t s = 1; s < 4; ++s) cluster.CrashSite(SiteId(s));
-    });
+  if (p.crash_remotes) {
+    for (uint32_t s = 1; s < 4; ++s) {
+      c.plan.events.push_back({300'000, chaos::FaultKind::kCrash, s, 0});
+    }
   }
 
-  // Stream of demanding transactions at site 0 (many force gathering).
-  uint64_t decided = 0, submitted = 0;
-  SimTime max_latency = 0;
-  for (int i = 0; i < 60; ++i) {
-    TxnSpec spec;
-    core::Value amount = rng.NextInt(1, 80);  // often exceeds the fragment
-    spec.ops = {rng.NextBool(0.7) ? TxnOp::Decrement(item, amount)
-                                  : TxnOp::Increment(item, amount)};
-    ++submitted;
-    auto ok = cluster.Submit(SiteId(0), spec,
-                             [&](const txn::TxnResult& r) {
-                               ++decided;
-                               max_latency = std::max(max_latency,
-                                                      r.latency_us);
-                             });
-    ASSERT_TRUE(ok.ok());
-    cluster.RunFor(rng.NextInt(5'000, 50'000));
-  }
-  cluster.RunFor(kBound + 100'000);  // every pending timeout has fired
-
-  EXPECT_EQ(decided, submitted) << "a transaction never decided: blocking!";
-  EXPECT_LE(max_latency, kBound)
-      << "a decision exceeded the §5 bound of timeout + local work";
-  EXPECT_TRUE(cluster.AuditAll().ok());
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << p.name << ": " << r.violation << "\n"
+                    << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
+  EXPECT_LE(r.max_latency_us, r.latency_bound_us);
+  EXPECT_GT(r.submitted, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Adversarial, NonBlockingTest,
-    ::testing::Values(NbCase{1, 0.0, 0, false},        // healthy
-                      NbCase{2, 0.5, 0, false},        // half the packets die
-                      NbCase{3, 1.0, 0, false},        // total silence
-                      NbCase{4, 0.0, 50'000, false},   // fast flapping
-                      NbCase{5, 0.2, 120'000, false},  // lossy + flapping
-                      NbCase{6, 0.0, 0, true},         // all remotes crash
-                      NbCase{7, 0.3, 80'000, true}));  // everything at once
+    Pinned, NonBlockingTest,
+    ::testing::Values(NbCase{"healthy", 0, 0, false},
+                      NbCase{"half_loss", 500, 0, false},
+                      NbCase{"total_silence", 1000, 0, false},
+                      NbCase{"fast_flapping", 0, 50'000, false},
+                      NbCase{"lossy_flapping", 200, 120'000, false},
+                      NbCase{"remotes_crash", 0, 0, true},
+                      NbCase{"everything", 300, 80'000, true}),
+    [](const auto& info) { return info.param.name; });
+
+class NonBlockingSwarmTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NonBlockingSwarmTest, GeneratedPlanRespectsBound) {
+  uint64_t seed = GetParam();
+
+  chaos::ChaosCase c;
+  c.seed = seed;
+  c.workload = NbWorkload(0);
+  c.perturb_seed = seed * 17 + 5;  // also search interleavings
+  c.max_jitter_us = 200;
+
+  chaos::PlanSpec spec;
+  spec.num_sites = 4;
+  spec.crashable_mask = 0b1110;  // never the submitter
+  spec.horizon_us = 1'800'000;
+  spec.max_events = 16;
+  c.plan = chaos::GeneratePlan(seed, spec);
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.violation << "\n"
+                    << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Swarm, NonBlockingSwarmTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{8}));
 
 }  // namespace
 }  // namespace dvp
