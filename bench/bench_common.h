@@ -2,7 +2,11 @@
 // prints fixed-format tables whose rows are recorded in EXPERIMENTS.md.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +90,66 @@ inline double Pct(double x) { return 100.0 * x; }
 
 inline void PrintHeader(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << ": " << claim << " ===\n";
+}
+
+/// Deterministic JSON metrics sink for the bench binaries (`--json <path>`).
+/// Keys emit sorted; integers render as integers and doubles with fixed
+/// six-digit precision, so a fixed-seed run produces byte-identical files —
+/// the property the CI perf-smoke bounds check and BENCH_seed.json rely on.
+class JsonMetrics {
+ public:
+  void Set(const std::string& key, uint64_t v) {
+    entries_[key] = std::to_string(v);
+  }
+  void Set(const std::string& key, int64_t v) {
+    entries_[key] = std::to_string(v);
+  }
+  void Set(const std::string& key, int v) { Set(key, int64_t{v}); }
+  void Set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    entries_[key] = buf;
+  }
+  void Set(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char ch : v) {
+      if (ch == '"' || ch == '\\') quoted += '\\';
+      quoted += ch;
+    }
+    quoted += '"';
+    entries_[key] = std::move(quoted);
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n";
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      out += "  \"" + it->first + "\": " + it->second;
+      out += std::next(it) == entries_.end() ? "\n" : ",\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the file when `path` is nonempty; a no-op sink otherwise, so
+  /// callers record metrics unconditionally.
+  void WriteTo(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream f(path, std::ios::trunc);
+    f << ToString();
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;  // key -> rendered value
+};
+
+/// Extracts `--json <path>` (or `--json=<path>`) from argv; empty if absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
 }
 
 }  // namespace dvp::bench

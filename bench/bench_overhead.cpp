@@ -26,9 +26,10 @@ workload::WorkloadOptions Mix(uint64_t seed) {
   return w;
 }
 
-void Main() {
+void Main(const std::string& json_path) {
   PrintHeader("E10",
               "failure-free overhead per committed txn vs cluster size");
+  JsonMetrics metrics;
   workload::TablePrinter table({"sites", "system", "commit %",
                                 "log forces/commit", "msgs/commit",
                                 "p50 latency (ms)"});
@@ -53,6 +54,12 @@ void Main() {
       table.AddRow(n, "DvP", Pct(r.commit_rate()), double(forces) / commits,
                    double(counters.Get("net.sent")) / commits,
                    r.commit_latency_us.Median() / 1000.0);
+      std::string k = "e10.dvp.n" + std::to_string(n) + ".";
+      metrics.Set(k + "committed", r.committed());
+      metrics.Set(k + "forces_per_commit", double(forces) / commits);
+      metrics.Set(k + "msgs_per_commit",
+                  double(counters.Get("net.sent")) / commits);
+      metrics.Set(k + "p50_latency_us", r.commit_latency_us.Median());
     }
     if (n >= 2) {  // PrimaryCopy
       std::vector<ItemId> items;
@@ -99,9 +106,12 @@ void Main() {
                "replicated data is a trivial special case' observation. 2PC "
                "pays O(n) forces and messages per commit; primary copy pays "
                "one RPC for remote submitters.\n";
+  metrics.WriteTo(json_path);
 }
 
 }  // namespace
 }  // namespace dvp::bench
 
-int main() { dvp::bench::Main(); }
+int main(int argc, char** argv) {
+  dvp::bench::Main(dvp::bench::JsonPathFromArgs(argc, argv));
+}

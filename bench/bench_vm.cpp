@@ -23,7 +23,7 @@ namespace {
 constexpr SimTime kRun = 30'000'000;
 constexpr SimTime kDrainLong = 120'000'000;  // let retransmissions finish
 
-void SweepLoss() {
+void SweepLoss(JsonMetrics* metrics) {
   PrintHeader("E3",
               "Vm conservation and delivery under lossy links (dup 10%)");
   workload::TablePrinter table(
@@ -75,6 +75,12 @@ void SweepLoss() {
                  created == 0 ? 0.0 : double(retrans) / double(created),
                  dup_drops, pure, piggy, live,
                  audit.ok() ? "OK" : audit.ToString());
+    std::string k = "e3.loss" + std::to_string(int(loss * 100)) + ".";
+    metrics->Set(k + "committed", results.committed());
+    metrics->Set(k + "vm_created", created);
+    metrics->Set(k + "vm_accepted", accepted);
+    metrics->Set(k + "retransmits", retrans);
+    metrics->Set(k + "conservation_ok", uint64_t(audit.ok() ? 1 : 0));
   }
   table.Print();
   std::cout << "\nValue lost is identically zero at every loss rate; only "
@@ -82,7 +88,7 @@ void SweepLoss() {
                "are transfers still being retried toward convergence.)\n";
 }
 
-void FloodBoundedState() {
+void FloodBoundedState(JsonMetrics* metrics) {
   PrintHeader("E3b",
               "Bounded dedup state over a 12k-Vm flood (loss 30%, dup 10%)");
 
@@ -151,14 +157,24 @@ void FloodBoundedState() {
                "loss the accepted-set peaks at a fraction of the flood and "
                "drains to zero once the channels close (the final watermark "
                "rides a reliable closure notification).\n";
+  metrics->Set("e3b.vm_created", uint64_t(4 * kPerSite));
+  metrics->Set("e3b.vm_accepted", lifetime_accepts);
+  metrics->Set("e3b.accepted_set_now", uint64_t(accepted_now));
+  metrics->Set("e3b.dedup_window_peak",
+               uint64_t(std::max(dedup_peak, dedup_peak_live)));
+  metrics->Set("e3b.conservation_ok", uint64_t(audit.ok() ? 1 : 0));
 }
 
-void Main() {
-  SweepLoss();
-  FloodBoundedState();
+void Main(const std::string& json_path) {
+  JsonMetrics metrics;
+  SweepLoss(&metrics);
+  FloodBoundedState(&metrics);
+  metrics.WriteTo(json_path);
 }
 
 }  // namespace
 }  // namespace dvp::bench
 
-int main() { dvp::bench::Main(); }
+int main(int argc, char** argv) {
+  dvp::bench::Main(dvp::bench::JsonPathFromArgs(argc, argv));
+}

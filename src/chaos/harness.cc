@@ -96,7 +96,10 @@ std::string ChaosCase::ToLiteral() const {
                                     : U64(w.submit_site)) +
          ", " + U64(w.read_permille) + ", " + U64(w.redist_permille) + ", " +
          std::to_string(w.max_amount) + ", " + std::to_string(w.timeout_us) +
-         ", " + U64(w.loss_permille) + ", " + U64(w.dup_permille) + "}, ";
+         ", " + U64(w.loss_permille) + ", " + U64(w.dup_permille) + ", " +
+         U64(w.group_commit_records) + ", " +
+         std::to_string(w.group_commit_delay_us) + ", " + U64(w.coalesce) +
+         "}, ";
   out += plan.ToLiteral() + "}";
   return out;
 }
@@ -119,6 +122,12 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
   copts.link.loss_prob = w.loss_permille / 1000.0;
   copts.link.duplicate_prob = w.dup_permille / 1000.0;
   copts.site.txn.timeout_us = w.timeout_us;
+  if (w.group_commit_records >= 2) {
+    copts.site.group_commit.enabled = true;
+    copts.site.group_commit.max_records = w.group_commit_records;
+    copts.site.group_commit.max_delay_us = w.group_commit_delay_us;
+  }
+  copts.site.transport.coalesce = w.coalesce != 0;
   if (c.perturb_seed != 0) {
     copts.perturb.seed = c.perturb_seed;
     copts.perturb.shuffle_ties = true;
@@ -150,9 +159,11 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
       max_skew_permille = std::max(max_skew_permille, e.arg);
     }
   }
+  // Group commit defers the commit-point force by up to the batch timer, and
+  // the force that makes the *reply* visible can lag one more timer period.
   result.latency_bound_us =
       static_cast<SimTime>(w.timeout_us * max_skew_permille / 1000) +
-      2 * c.max_jitter_us + 1'000;
+      2 * c.max_jitter_us + 2 * w.group_commit_delay_us + 1'000;
 
   // ---- Workload ------------------------------------------------------------
   std::vector<Action> actions = PrecomputeWorkload(c);
@@ -414,6 +425,13 @@ ChaosCase MakeSwarmCase(uint64_t seed) {
       rng.NextBool(0.5) ? static_cast<uint32_t>(rng.NextBounded(120)) : 0;
   w.dup_permille =
       rng.NextBool(0.3) ? static_cast<uint32_t>(rng.NextBounded(100)) : 0;
+  // Half the swarm runs with group commit on (so crashes land mid-batch and
+  // must drop exactly the unforced suffix); coalescing toggles independently.
+  if (rng.NextBool(0.5)) {
+    w.group_commit_records = 2 + static_cast<uint32_t>(rng.NextBounded(15));
+    w.group_commit_delay_us = 200 + static_cast<SimTime>(rng.NextBounded(4801));
+  }
+  w.coalesce = rng.NextBool(0.5) ? 1 : 0;
   if (rng.NextBool(0.7)) {
     c.perturb_seed = seed * 31 + 7;
     c.max_jitter_us =

@@ -44,6 +44,14 @@ struct WorkloadSpec {
   SimTime timeout_us = 150'000;
   uint32_t loss_permille = 0;     ///< baseline link loss (plan may ramp it)
   uint32_t dup_permille = 0;
+  // New knobs append here: pinned cases are positional brace-literals, so
+  // inserting above would silently re-map every reproducer in the tree.
+  /// Group-commit batch bound per site; 0 or 1 = force per append (off).
+  uint32_t group_commit_records = 0;
+  /// Group-commit timer bound; only meaningful with records >= 2.
+  SimTime group_commit_delay_us = 0;
+  /// Transport frame coalescing (0/1).
+  uint32_t coalesce = 0;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -30,6 +31,17 @@ using EnvelopePtr = std::shared_ptr<const Envelope>;
 /// (the paper notes request messages "need not have unique identifiers as
 /// their delivery is not critical", §8).
 enum class Reliability : uint8_t { kDatagram = 0, kReliable = 1 };
+
+/// One additional message riding a coalesced frame (Transport::Options::
+/// coalesce): the frame's primary fields describe the first message, each
+/// rider carries its own transport class and sequence number. Everything else
+/// — epoch, seq_base, the piggybacked ack — is channel state shared by the
+/// whole frame.
+struct SubMsg {
+  Reliability reliability = Reliability::kDatagram;
+  MsgSeq seq;  // meaningful for reliable riders
+  EnvelopePtr payload;
+};
 
 /// A packet in flight.
 struct Packet {
@@ -57,6 +69,9 @@ struct Packet {
   bool has_ack = false;
 
   EnvelopePtr payload;  // null for pure acks
+
+  /// Coalesced riders in send order; empty unless the sender coalesces.
+  std::vector<SubMsg> extra;
 };
 
 }  // namespace dvp::net

@@ -52,13 +52,68 @@ void Transport::AttachAck(Packet* p) {
   p->ack_cum = pi.cum;
   if (pi.ack_owed) {
     pi.ack_owed = false;  // this packet is the ack; the pure-ack timer yields
+    pi.ack_timer.Cancel();
     ++piggyback_acks_;
     if (counters_) counters_->Inc("transport.ack_piggyback");
   }
 }
 
+void Transport::Stage(SiteId dst, Reliability reliability, uint64_t seq,
+                      EnvelopePtr payload) {
+  staging_[dst].push_back(StagedMsg{reliability, seq, std::move(payload)});
+  if (flush_armed_) return;
+  flush_armed_ = true;
+  uint64_t gen = generation_;
+  kernel_->Schedule(0, [this, gen, alive = alive_]() {
+    if (!*alive || gen != generation_) return;
+    flush_armed_ = false;
+    FlushStaging();
+  });
+}
+
+void Transport::FlushStaging() {
+  std::map<SiteId, std::vector<StagedMsg>> staged = std::move(staging_);
+  staging_.clear();
+  for (auto& [dst, msgs] : staged) {
+    for (size_t i = 0; i < msgs.size(); i += options_.max_frame_msgs) {
+      size_t end = std::min(msgs.size(),
+                            i + static_cast<size_t>(options_.max_frame_msgs));
+      Packet p;
+      p.src = self_;
+      p.dst = dst;
+      p.reliability = msgs[i].reliability;
+      p.epoch = epoch_;
+      p.seq = MsgSeq(msgs[i].seq);
+      auto po = out_.find(dst);
+      if (po != out_.end() && !po->second.pending.empty()) {
+        p.seq_base = po->second.pending.begin()->first;
+      }
+      p.payload = std::move(msgs[i].payload);
+      for (size_t j = i + 1; j < end; ++j) {
+        p.extra.push_back(
+            SubMsg{msgs[j].reliability, MsgSeq(msgs[j].seq),
+                   std::move(msgs[j].payload)});
+      }
+      if (!p.extra.empty()) {
+        ++coalesced_frames_;
+        coalesced_riders_ += p.extra.size();
+        if (counters_) {
+          counters_->Inc("transport.coalesced_frames");
+          counters_->Inc("transport.coalesced_riders", p.extra.size());
+        }
+      }
+      AttachAck(&p);
+      network_->Send(std::move(p));
+    }
+  }
+}
+
 void Transport::SendPacket(SiteId dst, uint64_t seq,
                            const EnvelopePtr& payload) {
+  if (options_.coalesce) {
+    Stage(dst, Reliability::kReliable, seq, payload);
+    return;
+  }
   Packet p;
   p.src = self_;
   p.dst = dst;
@@ -75,6 +130,10 @@ void Transport::SendPacket(SiteId dst, uint64_t seq,
 }
 
 void Transport::SendDatagram(SiteId dst, EnvelopePtr payload) {
+  if (options_.coalesce) {
+    Stage(dst, Reliability::kDatagram, /*seq=*/0, std::move(payload));
+    return;
+  }
   Packet p;
   p.src = self_;
   p.dst = dst;
@@ -147,8 +206,8 @@ void Transport::OweAck(SiteId src) {
   if (pi.ack_owed) return;  // pure ack already armed
   pi.ack_owed = true;
   uint64_t gen = generation_;
-  kernel_->Schedule(options_.ack_delay_us,
-                    [this, gen, src, alive = alive_]() {
+  pi.ack_timer = kernel_->Schedule(options_.ack_delay_us,
+                                   [this, gen, src, alive = alive_]() {
     if (!*alive || gen != generation_) return;
     auto it = in_.find(src);
     if (it == in_.end() || !it->second.ack_owed) return;  // piggybacked since
@@ -169,32 +228,45 @@ void Transport::OweAck(SiteId src) {
 
 void Transport::OnPacket(const Packet& packet) {
   if (packet.has_ack) ProcessAck(packet.src, packet.ack_epoch, packet.ack_cum);
-  if (!packet.payload) return;  // pure ack
+  if (packet.payload) {
+    ProcessSub(packet.src, packet.epoch, packet.reliability,
+               packet.seq.value(), packet.seq_base, packet.payload);
+  }
+  // Coalesced riders, in send order. Channel state (epoch, seq_base, the
+  // piggyback ack above) is frame-wide; dedup and delivery are per message.
+  for (const SubMsg& sub : packet.extra) {
+    ProcessSub(packet.src, packet.epoch, sub.reliability, sub.seq.value(),
+               packet.seq_base, sub.payload);
+  }
+}
 
-  if (packet.reliability != Reliability::kReliable) {
-    if (deliver_fn_) deliver_fn_(packet.src, packet.payload);
+void Transport::ProcessSub(SiteId src, uint64_t epoch, Reliability reliability,
+                           uint64_t seq, uint64_t seq_base,
+                           const EnvelopePtr& payload) {
+  if (reliability != Reliability::kReliable) {
+    if (deliver_fn_) deliver_fn_(src, payload);
     return;
   }
 
-  PeerIn& pi = in_[packet.src];
-  if (packet.epoch < pi.epoch) {
+  PeerIn& pi = in_[src];
+  if (epoch < pi.epoch) {
     // A packet from the sender's previous life; its numbering is void and
     // anything it carried was re-driven from the sender's log.
     if (counters_) counters_->Inc("transport.stale_epoch_drop");
     return;
   }
-  if (packet.epoch > pi.epoch) {
+  if (epoch > pi.epoch) {
     pi = PeerIn{};  // reborn sender: fresh channel
-    pi.epoch = packet.epoch;
+    pi.epoch = epoch;
   }
 
-  if (packet.seq_base > pi.cum + 1) {
+  if (seq_base > pi.cum + 1) {
     // The sender has completed everything below seq_base (a previous
     // incarnation of us consumed it, or it was cancelled above the
     // transport) and will never retransmit it. Without the fast-forward a
     // reborn receiver's cumulative counter would stall below the gap forever
     // and no later send on this channel could ever be cum-acked.
-    pi.cum = packet.seq_base - 1;
+    pi.cum = seq_base - 1;
     while (!pi.above.empty() && *pi.above.begin() <= pi.cum) {
       pi.above.erase(pi.above.begin());
     }
@@ -205,11 +277,10 @@ void Transport::OnPacket(const Packet& packet) {
     if (counters_) counters_->Inc("transport.cum_fastforward");
   }
 
-  uint64_t seq = packet.seq.value();
   if (seq <= pi.cum || pi.above.contains(seq)) {
     ++dup_drops_;
     if (counters_) counters_->Inc("transport.dup_drop");
-    OweAck(packet.src);  // the sender evidently missed our ack; re-ack
+    OweAck(src);  // the sender evidently missed our ack; re-ack
     return;
   }
   if (seq > pi.cum + options_.recv_window) {
@@ -219,30 +290,34 @@ void Transport::OnPacket(const Packet& packet) {
     return;
   }
 
-  bool consumed = deliver_fn_ && deliver_fn_(packet.src, packet.payload);
+  bool consumed = deliver_fn_ && deliver_fn_(src, payload);
   if (!consumed) return;  // refused (e.g. locked item); retransmission re-offers
 
   // Note: deliver_fn_ may have re-entered us (the handler sends acks or new
   // transfers), so re-find the channel rather than trusting `pi`.
-  PeerIn& pin = in_[packet.src];
-  if (packet.epoch != pin.epoch) return;  // channel reset mid-delivery
+  PeerIn& pin = in_[src];
+  if (epoch != pin.epoch) return;  // channel reset mid-delivery
   pin.above.insert(seq);
   while (pin.above.contains(pin.cum + 1)) {
     pin.above.erase(pin.cum + 1);
     ++pin.cum;
   }
   NoteDedupSize();
-  OweAck(packet.src);
+  OweAck(src);
 }
 
 void Transport::Crash() {
   out_.clear();
   in_.clear();
   token_index_.clear();
+  // Staged-but-unflushed messages die with the process, exactly like packets
+  // lost on the wire; reliable ones are re-driven from the log on recovery.
+  staging_.clear();
   // Invalidate any armed timer: its generation check will fail. The owner
   // assigns a fresh epoch (from the stable incarnation) before reuse.
   ++generation_;
   timer_armed_ = false;
+  flush_armed_ = false;
 }
 
 SimTime Transport::IntervalFor(const PeerOut& po) const {

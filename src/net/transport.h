@@ -22,6 +22,13 @@
 //  * Per-peer exponential backoff with deterministic jitter and a burst cap
 //    per round, so an unreachable peer costs O(log time) packets instead of
 //    the fixed-RTO retransmission storm.
+//  * Optional frame coalescing. With Options::coalesce on, every message
+//    staged within one event tick to the same peer rides a single frame
+//    (primary + Packet::extra) under one piggybacked ack — the paper's
+//    observation that a real message may carry many virtual messages (§4.2)
+//    applied to the transport: a group-commit force that releases a burst of
+//    Vm transfers and acceptance acks costs one packet per peer, not one per
+//    message.
 //
 // Delivery is consume-aware: the upper layer returns false to refuse a
 // payload (e.g. a Vm transfer deferred because the item is locked, §5); a
@@ -59,6 +66,15 @@ class Transport {
     /// cumulative watermark are dropped (the sender retries later), which
     /// bounds the out-of-order dedup set per peer.
     uint64_t recv_window = 1024;
+    /// Coalescing: outgoing messages stage per destination for one zero-delay
+    /// event tick and ride a single frame (primary + Packet::extra), sharing
+    /// one piggybacked cumulative ack. Amortises real messages when a burst
+    /// targets the same peer — e.g. the Vm transfers and acceptance acks a
+    /// group-commit force releases together. Off: one message per packet,
+    /// byte-identical to the pre-coalescing transport.
+    bool coalesce = false;
+    /// Upper bound on messages per coalesced frame (primary + riders).
+    uint32_t max_frame_msgs = 8;
   };
 
   Transport(sim::Kernel* kernel, Network* network, SiteId self,
@@ -117,6 +133,10 @@ class Transport {
   uint64_t dup_drops() const { return dup_drops_; }
   uint64_t pure_acks() const { return pure_acks_; }
   uint64_t piggyback_acks() const { return piggyback_acks_; }
+  /// Frames that actually carried more than one message, and the total
+  /// rider count across them (messages saved vs one-per-packet sending).
+  uint64_t coalesced_frames() const { return coalesced_frames_; }
+  uint64_t coalesced_riders() const { return coalesced_riders_; }
   /// Current total out-of-order dedup entries across peers (the cumulative
   /// watermarks compress everything below them to one integer per peer).
   size_t dedup_entries() const;
@@ -145,12 +165,33 @@ class Transport {
     uint64_t cum = 0;          // all reliable seqs <= cum were consumed
     std::set<uint64_t> above;  // consumed out-of-order seqs > cum
     bool ack_owed = false;     // delayed pure ack armed
+    /// The armed pure-ack event; cancelled outright when the ack piggybacks
+    /// on an outgoing frame first, so the kernel queue is not left churning
+    /// through tombstone wakeups on busy channels.
+    sim::EventHandle ack_timer;
+  };
+
+  /// One staged message awaiting the coalescing flush.
+  struct StagedMsg {
+    Reliability reliability = Reliability::kDatagram;
+    uint64_t seq = 0;
+    EnvelopePtr payload;
   };
 
   void ArmTimer();
   void OnTimer();
   void SendPacket(SiteId dst, uint64_t seq, const EnvelopePtr& payload);
   void AttachAck(Packet* p);
+  /// Queues one message for `dst` and arms the zero-delay flush event.
+  void Stage(SiteId dst, Reliability reliability, uint64_t seq,
+             EnvelopePtr payload);
+  /// Drains the staging buffers into coalesced frames (one per destination
+  /// per max_frame_msgs chunk), each carrying the freshest piggyback ack.
+  void FlushStaging();
+  /// Receiver side of one message (the frame's primary or a rider): epoch
+  /// and window checks, dedup, delivery, ack scheduling.
+  void ProcessSub(SiteId src, uint64_t epoch, Reliability reliability,
+                  uint64_t seq, uint64_t seq_base, const EnvelopePtr& payload);
   void ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum);
   void OweAck(SiteId src);
   SimTime IntervalFor(const PeerOut& po) const;
@@ -171,6 +212,12 @@ class Transport {
   /// token -> (dst, seq); also the collision detector.
   std::map<uint64_t, std::pair<SiteId, uint64_t>> token_index_;
 
+  /// Per-destination messages awaiting the coalescing flush (empty when
+  /// coalescing is off). Volatile: a crash drops staged messages exactly like
+  /// packets lost on the wire — reliable ones are re-driven from the log.
+  std::map<SiteId, std::vector<StagedMsg>> staging_;
+  bool flush_armed_ = false;
+
   bool timer_armed_ = false;
   SimTime armed_at_ = 0;
   uint64_t generation_ = 0;  // invalidates timers across crashes
@@ -183,6 +230,8 @@ class Transport {
   uint64_t dup_drops_ = 0;
   uint64_t pure_acks_ = 0;
   uint64_t piggyback_acks_ = 0;
+  uint64_t coalesced_frames_ = 0;
+  uint64_t coalesced_riders_ = 0;
   size_t dedup_peak_ = 0;
 };
 

@@ -18,7 +18,9 @@ void Redo(const wal::FragmentWrite& w, core::ValueStore* store,
 
 Status RebuildStore(const wal::StableStorage& storage,
                     core::ValueStore* store, RecoveryReport* report) {
-  return RebuildStorePrefix(storage, storage.log_size(), store, report);
+  // Recovery sees the forced prefix only: records in the unforced group-
+  // commit batch buffer are volatile by construction and a crash drops them.
+  return RebuildStorePrefix(storage, storage.durable_size(), store, report);
 }
 
 Status RebuildStorePrefix(const wal::StableStorage& storage, uint64_t upto,
@@ -72,7 +74,7 @@ Status RebuildStorePrefix(const wal::StableStorage& storage, uint64_t upto,
 
 SimTime RecoveryDuration(const wal::StableStorage& storage,
                          SimTime us_per_record) {
-  uint64_t suffix = storage.log_size() - storage.checkpoint_upto();
+  uint64_t suffix = storage.durable_size() - storage.checkpoint_upto();
   return static_cast<SimTime>(suffix) * us_per_record;
 }
 

@@ -38,9 +38,11 @@ void Site::BuildVolatile() {
   transport_->set_deliver_fn([this](SiteId from, net::EnvelopePtr payload) {
     return OnEnvelope(from, std::move(payload));
   });
+  wal_ = std::make_unique<wal::GroupCommitLog>(kernel_, storage_, &counters_,
+                                               options_.group_commit);
   bool stamp_on_accept = options_.txn.scheme == cc::CcScheme::kConc1;
   vm_ = std::make_unique<vm::VmManager>(
-      id_, storage_, store_.get(), locks_.get(), transport_.get(), &clock_,
+      id_, wal_.get(), store_.get(), locks_.get(), transport_.get(), &clock_,
       &counters_, stamp_on_accept, options_.txn.accept_stamp);
   // The transport's cumulative ack doubles as the Vm acceptance signal: it
   // fires when the peer has consumed the transfer even if every explicit
@@ -48,7 +50,7 @@ void Site::BuildVolatile() {
   transport_->set_ack_fn(
       [this](uint64_t token) { vm_->OnTransportAck(token); });
   txn_ = std::make_unique<txn::TxnManager>(
-      id_, network_->num_sites(), kernel_, storage_, store_.get(),
+      id_, network_->num_sites(), kernel_, wal_.get(), store_.get(),
       locks_.get(), vm_.get(), transport_.get(), &clock_, &counters_,
       rng_.Fork(0xff00 + lifecycle_generation_), options_.txn);
 }
@@ -82,9 +84,14 @@ void Site::Crash() {
   transport_->Crash();
   txn_.reset();
   vm_.reset();
+  wal_.reset();
   transport_.reset();
   locks_.reset();
   store_.reset();
+  // The batch buffer dies with the scheduler: records never covered by a
+  // force were volatile, and the crash is the moment that shows.
+  uint64_t dropped = storage_->DropUnforcedTail();
+  if (dropped > 0) counters_.Inc("wal.dropped_unforced", dropped);
 }
 
 void Site::Recover(
@@ -134,6 +141,9 @@ void Site::Recover(
 
 void Site::Checkpoint() {
   if (!up_) return;
+  // Force the pending batch (running its completion callbacks) before
+  // imaging the store: the image must not get ahead of the durable log.
+  wal_->Flush();
   for (uint32_t i = 0; i < store_->num_items(); ++i) {
     const core::Fragment& frag = store_->fragment(ItemId(i));
     storage_->WriteImage(ItemId(i), frag.value, frag.ts.packed());
@@ -189,14 +199,23 @@ bool Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
           dynamic_cast<const proto::VmTransferMsg*>(payload.get())) {
     vm_->ObserveClosedBelow(transfer->src, transfer->closed_below);
     if (vm_->AlreadyAccepted(transfer->vm)) {
+      // An acceptance still in the unforced batch must not be acked NOR
+      // consumed: the transport's cumulative ack doubles as a Vm ack, and a
+      // crash here could still lose the acceptance. Refuse; the covering
+      // force sends the first ack, and any later retransmission ReAcks.
+      if (vm_->IsUnforcedAccept(transfer->vm)) return false;
       vm_->ReAck(*transfer);
       return true;
     }
-    if (txn_->RouteVmTransfer(from, *transfer)) return true;
+    if (txn_->RouteVmTransfer(from, *transfer)) {
+      return !vm_->IsUnforcedAccept(transfer->vm);
+    }
     // False here means deferred-while-locked: refuse the packet so the
     // transport neither acks nor dedups it and a retransmission re-offers
-    // the value once the lock clears (§5).
-    return vm_->AcceptOrIgnore(*transfer);
+    // the value once the lock clears (§5). Accepted-but-unforced is refused
+    // for the same reason as above.
+    return vm_->AcceptOrIgnore(*transfer) &&
+           !vm_->IsUnforcedAccept(transfer->vm);
   }
   if (const auto* ack = dynamic_cast<const proto::VmAckMsg*>(payload.get())) {
     vm_->OnAck(*ack);

@@ -22,6 +22,7 @@
 #include "txn/txn.h"
 #include "txn/txn_manager.h"
 #include "vm/vm_manager.h"
+#include "wal/group_commit.h"
 #include "wal/stable_storage.h"
 
 namespace dvp::site {
@@ -29,6 +30,8 @@ namespace dvp::site {
 struct SiteOptions {
   txn::TxnManagerOptions txn;
   net::Transport::Options transport;
+  /// Group-commit force policy (off by default: force per append).
+  wal::GroupCommitOptions group_commit;
   /// Automatic checkpoint period; 0 disables (manual Checkpoint() only).
   SimTime checkpoint_interval_us = 0;
   /// Simulated redo cost per log-suffix record during recovery.
@@ -99,6 +102,7 @@ class Site {
   vm::VmManager* vm() { return vm_.get(); }
   txn::TxnManager* txns() { return txn_.get(); }
   net::Transport* transport() { return transport_.get(); }
+  wal::GroupCommitLog* wal() { return wal_.get(); }
   LamportClock& clock() { return clock_; }
 
  private:
@@ -121,10 +125,13 @@ class Site {
   bool recovering_ = false;
   uint64_t lifecycle_generation_ = 0;  // invalidates stale timers
 
-  // Volatile components (destroyed on crash).
+  // Volatile components (destroyed on crash). The group-commit scheduler is
+  // volatile too: its batch buffer and pending completion callbacks die with
+  // the crash, and Crash() drops the matching unforced log tail.
   std::unique_ptr<core::ValueStore> store_;
   std::unique_ptr<cc::LockManager> locks_;
   std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<wal::GroupCommitLog> wal_;
   std::unique_ptr<vm::VmManager> vm_;
   std::unique_ptr<txn::TxnManager> txn_;
 };

@@ -27,7 +27,7 @@ std::string_view TxnOutcomeName(TxnOutcome outcome) {
 }
 
 TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
-                       wal::StableStorage* storage, core::ValueStore* store,
+                       wal::GroupCommitLog* log, core::ValueStore* store,
                        cc::LockManager* locks, vm::VmManager* vm,
                        net::Transport* transport, LamportClock* clock,
                        CounterSet* counters, Rng rng,
@@ -35,7 +35,7 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
     : self_(self),
       num_sites_(num_sites),
       kernel_(kernel),
-      storage_(storage),
+      log_(log),
       store_(store),
       locks_(locks),
       vm_(vm),
@@ -463,25 +463,63 @@ void TxnManager::Commit(PendingTxn& t) {
     }
   }
 
-  storage_->Append(wal::LogRecord(rec));
-  t.committed = true;
+  if (!log_->enabled()) {
+    // Force-per-append path: the Append below is synchronous, so the commit
+    // point passes before this function returns.
+    log_->Append(wal::LogRecord(rec));
+    t.committed = true;
 
-  // §5 step 6: apply to the local database and record that fact.
+    // §5 step 6: apply to the local database and record that fact.
+    for (const wal::FragmentWrite& w : rec.writes) {
+      store_->SetValue(w.item, w.post_value);
+      store_->SetTs(w.item, Timestamp::FromPacked(w.post_ts_packed));
+    }
+    log_->Append(wal::LogRecord(wal::TxnAppliedRec{t.id}));
+
+    // §5 step 7.
+    locks_->ReleaseAll(t.id);
+    t.timeout.Cancel();
+    t.read_retry.Cancel();
+
+    counters_->Inc("txn.committed");
+    result.status = Status::OK();
+    result.latency_us = kernel_->Now() - t.start_time;
+    Finish(t, std::move(result));
+    return;
+  }
+
+  // Group-commit path: the commit record joins the batch buffer and the
+  // commit point is the covering force. Completion — the client callback,
+  // the committed verdict, the latency stamp — waits for it; everything
+  // volatile (store update, lock release) happens now, at the same instant
+  // it would under force-per-append, so lock timing and therefore commit
+  // outcomes are unchanged. Releasing locks before the force is sound
+  // because value never escapes this site except via a Vm transfer, and
+  // transfers are themselves gated on their own, later-in-log create-record
+  // force. A crash before the force drops the whole unforced tail: the
+  // transaction reports site failure and its writes never existed.
+  TxnId id = t.id;
   for (const wal::FragmentWrite& w : rec.writes) {
     store_->SetValue(w.item, w.post_value);
     store_->SetTs(w.item, Timestamp::FromPacked(w.post_ts_packed));
   }
-  storage_->Append(wal::LogRecord(wal::TxnAppliedRec{t.id}));
-
-  // §5 step 7.
-  locks_->ReleaseAll(t.id);
+  locks_->ReleaseAll(id);
   t.timeout.Cancel();
   t.read_retry.Cancel();
-
-  counters_->Inc("txn.committed");
-  result.status = Status::OK();
-  result.latency_us = kernel_->Now() - t.start_time;
-  Finish(t, std::move(result));
+  // `t` may die inside the first Append below (a full batch flushes inline,
+  // running the completion callback) — no member of `t` is touched after it.
+  log_->Append(wal::LogRecord(rec),
+               [this, id, result = std::move(result)]() mutable {
+                 auto it = pending_.find(id);
+                 if (it == pending_.end()) return;
+                 PendingTxn& t = *it->second;
+                 t.committed = true;
+                 counters_->Inc("txn.committed");
+                 result.status = Status::OK();
+                 result.latency_us = kernel_->Now() - t.start_time;
+                 Finish(t, std::move(result));
+               });
+  log_->Append(wal::LogRecord(wal::TxnAppliedRec{id}));
 }
 
 void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,

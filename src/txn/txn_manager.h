@@ -25,7 +25,7 @@
 #include "sim/kernel.h"
 #include "txn/txn.h"
 #include "vm/vm_manager.h"
-#include "wal/stable_storage.h"
+#include "wal/group_commit.h"
 
 namespace dvp::txn {
 
@@ -59,7 +59,7 @@ struct TxnManagerOptions {
 class TxnManager {
  public:
   TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
-             wal::StableStorage* storage, core::ValueStore* store,
+             wal::GroupCommitLog* log, core::ValueStore* store,
              cc::LockManager* locks, vm::VmManager* vm,
              net::Transport* transport, LamportClock* clock,
              CounterSet* counters, Rng rng, TxnManagerOptions options);
@@ -86,8 +86,10 @@ class TxnManager {
   Status SendValue(SiteId dst, ItemId item, core::Value amount);
 
   /// Crash path: every pending transaction's callback fires with
-  /// kAbortSiteFailure — unless its commit record already hit the log, in
-  /// which case it reports committed (the commit point had passed).
+  /// kAbortSiteFailure — unless its commit record was already FORCED, in
+  /// which case it reports committed (the commit point had passed). A commit
+  /// record still sitting in the unforced group-commit batch dies with the
+  /// crash, so its transaction correctly reports site failure.
   void CrashAbortAll();
 
   size_t pending_count() const { return pending_.size(); }
@@ -151,7 +153,7 @@ class TxnManager {
   SiteId self_;
   uint32_t num_sites_;
   sim::Kernel* kernel_;
-  wal::StableStorage* storage_;
+  wal::GroupCommitLog* log_;
   core::ValueStore* store_;
   cc::LockManager* locks_;
   vm::VmManager* vm_;

@@ -18,8 +18,14 @@ ConservationBreakdown AuditItem(
     core::Value amount = 0;
     ItemId item;
   };
+  // Two ledgers: the durable one reads each site's forced prefix (what
+  // recovery would see); the volatile one reads the full appended log,
+  // unforced group-commit tail included, because live stores apply buffered
+  // records at append time.
   std::map<VmId, LiveVm> created;
   std::set<VmId> accepted;
+  std::map<VmId, LiveVm> created_vol;
+  std::set<VmId> accepted_vol;
 
   for (const wal::StableStorage* storage : storages) {
     // Durable fragment value = what recovery would rebuild. Replay stops at
@@ -35,18 +41,25 @@ ConservationBreakdown AuditItem(
       out.volatile_site_total += v.value_or(durable);
     }
 
-    // The Vm liveness scan must read the same prefix the rebuild did.
+    // One scan feeds both ledgers: records below the rebuild's valid prefix
+    // are durable; everything decodable beyond it (the unforced tail) is
+    // volatile-only.
     uint64_t ignored = 0;
     (void)storage->ScanPrefix(
-        0, report.valid_prefix,
-        [&](Lsn, const wal::LogRecord& rec) {
+        0, storage->log_size(),
+        [&](Lsn lsn, const wal::LogRecord& rec) {
+          bool is_durable = lsn.value() < report.valid_prefix;
           if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
-            created[c->vm] = LiveVm{c->amount, c->item};
+            if (is_durable) created[c->vm] = LiveVm{c->amount, c->item};
+            created_vol[c->vm] = LiveVm{c->amount, c->item};
           } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
-            accepted.insert(a->vm);
+            if (is_durable) accepted.insert(a->vm);
+            accepted_vol.insert(a->vm);
           } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
             for (const auto& w : t->writes) {
-              if (w.item == item) out.committed_delta += w.delta;
+              if (w.item != item) continue;
+              if (is_durable) out.committed_delta += w.delta;
+              out.volatile_committed_delta += w.delta;
             }
           }
         },
@@ -58,6 +71,12 @@ ConservationBreakdown AuditItem(
     if (accepted.contains(vm)) continue;
     out.in_flight += live_vm.amount;
     ++out.live_vms;
+  }
+  for (const auto& [vm, live_vm] : created_vol) {
+    if (live_vm.item != item) continue;
+    if (accepted_vol.contains(vm)) continue;
+    out.volatile_in_flight += live_vm.amount;
+    ++out.volatile_live_vms;
   }
   return out;
 }
@@ -75,14 +94,16 @@ Status AuditAll(std::span<const wal::StableStorage* const> storages,
           " committed_delta=" + std::to_string(b.committed_delta) +
           " expected=" + std::to_string(expect));
     }
-    if (b.has_volatile && b.volatile_total() != expect) {
+    core::Value expect_vol =
+        catalog.info(item).initial_total + b.volatile_committed_delta;
+    if (b.has_volatile && b.volatile_total() != expect_vol) {
       return Status::Internal(
           "volatile conservation violated for item " +
           catalog.info(item).name +
           ": live_fragments=" + std::to_string(b.volatile_site_total) +
           " (durable=" + std::to_string(b.site_total) +
-          ") in_flight=" + std::to_string(b.in_flight) +
-          " expected=" + std::to_string(expect));
+          ") in_flight=" + std::to_string(b.volatile_in_flight) +
+          " expected=" + std::to_string(expect_vol));
     }
   }
   return Status::OK();

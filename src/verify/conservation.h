@@ -41,8 +41,19 @@ struct ConservationBreakdown {
   core::Value volatile_site_total = 0;
   bool has_volatile = false;
 
+  /// The volatile-view ledger is computed over the FULL appended log —
+  /// including the unforced group-commit batch tail — because up sites apply
+  /// buffered records to their in-memory stores at append time, before the
+  /// covering force. Down sites have no unforced tail (a crash drops it), so
+  /// for them the two ledgers coincide.
+  core::Value volatile_in_flight = 0;
+  core::Value volatile_committed_delta = 0;
+  uint64_t volatile_live_vms = 0;
+
   core::Value total() const { return site_total + in_flight; }
-  core::Value volatile_total() const { return volatile_site_total + in_flight; }
+  core::Value volatile_total() const {
+    return volatile_site_total + volatile_in_flight;
+  }
 };
 
 /// Live-state accessor for the volatile view: returns the in-memory fragment

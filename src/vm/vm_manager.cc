@@ -6,13 +6,13 @@
 
 namespace dvp::vm {
 
-VmManager::VmManager(SiteId self, wal::StableStorage* storage,
+VmManager::VmManager(SiteId self, wal::GroupCommitLog* log,
                      core::ValueStore* store, cc::LockManager* locks,
                      net::Transport* transport, LamportClock* clock,
                      CounterSet* counters, bool stamp_on_accept,
                      cc::AcceptStampMode stamp_mode)
     : self_(self),
-      storage_(storage),
+      log_(log),
       store_(store),
       locks_(locks),
       transport_(transport),
@@ -87,20 +87,39 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
   rec.for_txn = for_txn;
   rec.write = wal::FragmentWrite{item, frag.value - amount, -amount,
                                  frag.ts.packed()};
-  storage_->Append(wal::LogRecord(rec));
 
-  // Database action: debit the fragment.
+  if (!log_->enabled()) {
+    log_->Append(wal::LogRecord(rec));
+
+    // Database action: debit the fragment.
+    store_->SetValue(item, frag.value - amount);
+
+    OutVm out{dst, item, amount, for_txn, is_read_reply, round};
+    outbox_.emplace(id, out);
+    // Read replies are excluded from the movement counter: every reply to a
+    // reader's round is itself a Vm, so counting them would bump the count
+    // each round and no read could ever terminate.
+    if (!is_read_reply) ++lifetime_creates_;
+    counters_->Inc("vm.created");
+
+    SendTransfer(id, out);
+    return id;
+  }
+
+  // Group-commit path: the Vm is born only when the creation record's
+  // covering force completes, so the real message carrying it is deferred
+  // to that instant — a crash before the force must mean the Vm never
+  // existed, and a transfer already on the wire would contradict that. The
+  // debit and outbox entry are volatile and applied now.
   store_->SetValue(item, frag.value - amount);
-
   OutVm out{dst, item, amount, for_txn, is_read_reply, round};
   outbox_.emplace(id, out);
-  // Read replies are excluded from the movement counter: every reply to a
-  // reader's round is itself a Vm, so counting them would bump the count
-  // each round and no read could ever terminate.
   if (!is_read_reply) ++lifetime_creates_;
   counters_->Inc("vm.created");
-
-  SendTransfer(id, out);
+  log_->Append(wal::LogRecord(rec), [this, id] {
+    auto it = outbox_.find(id);
+    if (it != outbox_.end()) SendTransfer(id, it->second);
+  });
   return id;
 }
 
@@ -133,7 +152,9 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
   clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
   if (AlreadyAccepted(msg.vm)) {
     counters_->Inc("vm.duplicate");
-    SendAck(msg.vm, msg.src);
+    // No ack while the acceptance is still unforced: the covering force's
+    // deferred SendAck will be the first (and only safe) one.
+    if (!IsUnforcedAccept(msg.vm)) SendAck(msg.vm, msg.src);
     return 0;
   }
   const core::Fragment& frag = store_->fragment(msg.item);
@@ -161,20 +182,41 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
   rec.for_txn = msg.for_txn;
   rec.write = wal::FragmentWrite{msg.item, frag.value + msg.amount,
                                  msg.amount, post_ts.packed()};
-  storage_->Append(wal::LogRecord(rec));
 
+  if (!log_->enabled()) {
+    log_->Append(wal::LogRecord(rec));
+
+    store_->SetValue(msg.item, frag.value + msg.amount);
+    store_->SetTs(msg.item, post_ts);
+    MarkAccepted(msg.vm);
+    counters_->Inc("vm.accepted");
+
+    SendAck(msg.vm, msg.src);
+    return msg.amount;
+  }
+
+  // Group-commit path: the Vm dies only at the covering force, so the ack —
+  // which lets the sender durably close the Vm — waits for it. The credit
+  // and dedup entry are volatile and applied now; until the force the
+  // acceptance is tracked in unforced_accepts_ so duplicate handling and the
+  // transport's consume/cum-ack logic treat the transfer as still open.
   store_->SetValue(msg.item, frag.value + msg.amount);
   store_->SetTs(msg.item, post_ts);
   MarkAccepted(msg.vm);
   counters_->Inc("vm.accepted");
-
-  SendAck(msg.vm, msg.src);
+  unforced_accepts_.insert(msg.vm);
+  VmId vm = msg.vm;
+  SiteId src = msg.src;
+  log_->Append(wal::LogRecord(rec), [this, vm, src] {
+    unforced_accepts_.erase(vm);
+    SendAck(vm, src);
+  });
   return msg.amount;
 }
 
 bool VmManager::AcceptOrIgnore(const proto::VmTransferMsg& msg) {
   if (AlreadyAccepted(msg.vm)) {
-    ReAck(msg);
+    if (!IsUnforcedAccept(msg.vm)) ReAck(msg);
     return false;
   }
   if (locks_->IsLocked(msg.item)) {
@@ -201,7 +243,10 @@ void VmManager::FinishAcked(VmId vm) {
   auto it = outbox_.find(vm);
   if (it == outbox_.end()) return;  // duplicate ack
   SiteId dst = it->second.dst;
-  storage_->Append(wal::LogRecord(wal::VmAckedRec{vm}));
+  // The acked marker can ride the batch without a completion callback: it is
+  // an optimization (stops retransmission across recoveries), and losing an
+  // unforced one merely re-sends a transfer the receiver will ReAck.
+  log_->Append(wal::LogRecord(wal::VmAckedRec{vm}));
   outbox_.erase(it);
   transport_->CancelReliable(vm.value());
   counters_->Inc("vm.acked");
@@ -257,6 +302,7 @@ bool VmManager::HasOutstandingFor(ItemId item) const {
 void VmManager::Clear() {
   outbox_.clear();
   accepted_.clear();
+  unforced_accepts_.clear();
   closure_tokens_.clear();
   next_closure_token_ = 0;
   lifetime_accepts_ = 0;
@@ -267,7 +313,7 @@ void VmManager::Clear() {
 
 void VmManager::RestoreFromLog() {
   Clear();
-  Status s = storage_->Scan(0, [&](Lsn, const wal::LogRecord& rec) {
+  Status s = log_->storage()->Scan(0, [&](Lsn, const wal::LogRecord& rec) {
     if (const auto* create = std::get_if<wal::VmCreateRec>(&rec)) {
       outbox_.emplace(create->vm,
                       OutVm{create->dst, create->item, create->amount,

@@ -1,0 +1,51 @@
+#include "wal/group_commit.h"
+
+#include <utility>
+
+namespace dvp::wal {
+
+Lsn GroupCommitLog::Append(const LogRecord& record,
+                           std::function<void()> on_durable) {
+  if (!options_.enabled) {
+    Lsn lsn = storage_->Append(record);
+    if (on_durable) on_durable();
+    return lsn;
+  }
+  Lsn lsn = storage_->AppendBuffered(record);
+  if (on_durable) callbacks_.push_back(std::move(on_durable));
+  if (storage_->unforced_records() >= options_.max_records ||
+      storage_->unforced_bytes() >= options_.max_bytes) {
+    Flush();
+  } else {
+    ArmTimer();
+  }
+  return lsn;
+}
+
+void GroupCommitLog::Flush() {
+  if (storage_->unforced_records() == 0 && callbacks_.empty()) return;
+  uint64_t n = storage_->ForceTail();
+  if (counters_ && n > 0) {
+    counters_->Inc("wal.group_forces");
+    counters_->Inc("wal.group_records", n);
+  }
+  // A synchronous StableStorage::Append interleaved with the batch forces
+  // the whole tail, so by here every pending callback's record is durable —
+  // run them all. Move first: a callback may re-enter Append and start a
+  // fresh batch.
+  std::vector<std::function<void()>> ready = std::move(callbacks_);
+  callbacks_.clear();
+  for (auto& cb : ready) cb();
+}
+
+void GroupCommitLog::ArmTimer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  kernel_->Schedule(options_.max_delay_us, [this, alive = alive_] {
+    if (!*alive) return;
+    timer_armed_ = false;
+    if (storage_->unforced_records() > 0 || !callbacks_.empty()) Flush();
+  });
+}
+
+}  // namespace dvp::wal

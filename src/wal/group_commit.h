@@ -1,0 +1,86 @@
+// Group-commit force scheduler: appends from concurrent transactions at a
+// site accumulate in StableStorage's volatile batch buffer and are forced as
+// ONE multi-record group. The policy is the classic one (Gray & Lamport's
+// log-force batching): force when the batch reaches K records or B bytes, or
+// when a T-µs sim-time timer expires — whichever comes first.
+//
+// Callers that need to know when their record is durable pass an on_durable
+// callback; it runs when the covering force completes. This is how the
+// TxnManager defers commit completion and the VmManager defers transfer
+// sends and acceptance acks to the force that makes them real. Disabled
+// (the default), Append degenerates to a synchronous force-per-append with
+// the callback run inline — byte-identical to the pre-group-commit system.
+//
+// Lifetime: the scheduler is part of the site's VOLATILE state (it dies with
+// a crash, its pending callbacks with it); the StableStorage it wraps is the
+// disk and survives. The crash path (Site::Crash) drops the unforced tail,
+// so a crash mid-batch loses exactly the records whose callbacks never ran.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sim/kernel.h"
+#include "wal/stable_storage.h"
+
+namespace dvp::wal {
+
+struct GroupCommitOptions {
+  /// Off by default: every Append forces synchronously, callbacks inline.
+  bool enabled = false;
+  /// Force when the batch holds this many records (K).
+  uint32_t max_records = 8;
+  /// ... or this many encoded bytes (B).
+  uint64_t max_bytes = 1 << 16;
+  /// ... or this much sim-time after the batch's oldest append (T).
+  SimTime max_delay_us = 1000;
+};
+
+class GroupCommitLog {
+ public:
+  GroupCommitLog(sim::Kernel* kernel, StableStorage* storage,
+                 CounterSet* counters, GroupCommitOptions options)
+      : kernel_(kernel),
+        storage_(storage),
+        counters_(counters),
+        options_(options),
+        alive_(std::make_shared<bool>(true)) {}
+  ~GroupCommitLog() { *alive_ = false; }
+  GroupCommitLog(const GroupCommitLog&) = delete;
+  GroupCommitLog& operator=(const GroupCommitLog&) = delete;
+
+  /// Appends `record`; `on_durable` (optional) runs once the record is
+  /// covered by a force. Disabled: synchronous force + inline callback.
+  /// Enabled: buffered append; the callback runs at the K/B/T-policy force.
+  Lsn Append(const LogRecord& record,
+             std::function<void()> on_durable = nullptr);
+
+  /// Forces the batch now and runs every pending callback whose record the
+  /// force covered. Also runs callbacks that an interleaved synchronous
+  /// StableStorage::Append already made durable. No-op when nothing pends.
+  void Flush();
+
+  bool enabled() const { return options_.enabled; }
+  const GroupCommitOptions& options() const { return options_; }
+  StableStorage* storage() const { return storage_; }
+
+  /// Callbacks waiting for a covering force (test/debug visibility).
+  size_t pending_callbacks() const { return callbacks_.size(); }
+
+ private:
+  void ArmTimer();
+
+  sim::Kernel* kernel_;
+  StableStorage* storage_;
+  CounterSet* counters_;
+  GroupCommitOptions options_;
+  std::vector<std::function<void()>> callbacks_;
+  bool timer_armed_ = false;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dvp::wal

@@ -94,12 +94,21 @@ struct Encoder {
 }  // namespace
 
 std::string EncodeRecord(const LogRecord& record) {
-  std::string body;
-  std::visit(Encoder{&body}, record);
   std::string out;
-  PutFixed32(&out, Crc32c(body));
-  out += body;
+  EncodeRecordTo(record, &out);
   return out;
+}
+
+void EncodeRecordTo(const LogRecord& record, std::string* out) {
+  const size_t crc_at = out->size();
+  PutFixed32(out, 0);  // checksum slot, patched below
+  std::visit(Encoder{out}, record);
+  std::string_view body(out->data() + crc_at + 4, out->size() - crc_at - 4);
+  uint32_t crc = Crc32c(body);
+  (*out)[crc_at + 0] = static_cast<char>(crc & 0xff);
+  (*out)[crc_at + 1] = static_cast<char>((crc >> 8) & 0xff);
+  (*out)[crc_at + 2] = static_cast<char>((crc >> 16) & 0xff);
+  (*out)[crc_at + 3] = static_cast<char>((crc >> 24) & 0xff);
 }
 
 StatusOr<LogRecord> DecodeRecord(std::string_view data) {

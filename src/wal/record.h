@@ -126,6 +126,13 @@ using LogRecord =
 /// Serializes a record (type byte + payload + CRC32C trailer).
 std::string EncodeRecord(const LogRecord& record);
 
+/// Appends the serialized record to *out without intermediate copies: the
+/// checksum slot is reserved up front, the body is encoded in place, and the
+/// CRC is patched afterwards. This is the batch-append encode path — one
+/// allocation-amortized write per record instead of encode-into-temporary
+/// plus copy.
+void EncodeRecordTo(const LogRecord& record, std::string* out);
+
 /// Decodes a record produced by EncodeRecord, verifying the checksum.
 StatusOr<LogRecord> DecodeRecord(std::string_view data);
 

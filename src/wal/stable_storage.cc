@@ -4,13 +4,47 @@
 
 namespace dvp::wal {
 
+Lsn StableStorage::AppendEncoded(const LogRecord& record) {
+  std::string& slot = encoded_.emplace_back();
+  EncodeRecordTo(record, &slot);
+  log_bytes_ += slot.size();
+  ++appends_;
+  return Lsn(encoded_.size() - 1);
+}
+
 Lsn StableStorage::Append(const LogRecord& record) {
-  encoded_.push_back(EncodeRecord(record));
-  log_bytes_ += encoded_.back().size();
-  ++forces_;
-  Lsn lsn(encoded_.size() - 1);
+  Lsn lsn = AppendEncoded(record);
+  ForceTail();
+  // The hook fires after the force, so crash-injection tests still model
+  // "record durable, in-memory update lost".
   if (post_append_hook_) post_append_hook_(lsn, record);
   return lsn;
+}
+
+Lsn StableStorage::AppendBuffered(const LogRecord& record) {
+  Lsn lsn = AppendEncoded(record);
+  if (post_append_hook_) post_append_hook_(lsn, record);
+  return lsn;
+}
+
+uint64_t StableStorage::ForceTail() {
+  if (durable_size_ == encoded_.size()) return 0;
+  uint64_t n = encoded_.size() - durable_size_;
+  uint64_t bytes = log_bytes_ - durable_bytes_;
+  durable_size_ = encoded_.size();
+  durable_bytes_ = log_bytes_;
+  ++forces_;
+  last_group_records_ = n;
+  last_group_bytes_ = bytes;
+  max_group_records_ = std::max(max_group_records_, n);
+  max_group_bytes_ = std::max(max_group_bytes_, bytes);
+  return n;
+}
+
+uint64_t StableStorage::DropUnforcedTail() {
+  uint64_t dropped = encoded_.size() - durable_size_;
+  Truncate(durable_size_);
+  return dropped;
 }
 
 StatusOr<LogRecord> StableStorage::Read(Lsn lsn) const {
@@ -54,8 +88,13 @@ Status StableStorage::ScanPrefix(
 
 void StableStorage::Truncate(uint64_t new_size) {
   while (encoded_.size() > new_size) {
-    log_bytes_ -= encoded_.back().size();
+    size_t bytes = encoded_.back().size();
+    log_bytes_ -= bytes;
     encoded_.pop_back();
+    if (durable_size_ > encoded_.size()) {
+      durable_size_ = encoded_.size();
+      durable_bytes_ -= bytes;
+    }
   }
 }
 
@@ -65,7 +104,9 @@ Status StableStorage::TearTailForTest(size_t keep_bytes) {
   if (keep_bytes >= rec.size()) {
     return Status::InvalidArgument("keep_bytes does not shorten the record");
   }
-  log_bytes_ -= rec.size() - keep_bytes;
+  size_t delta = rec.size() - keep_bytes;
+  log_bytes_ -= delta;
+  if (durable_size_ == encoded_.size()) durable_bytes_ -= delta;
   rec.resize(keep_bytes);
   return Status::OK();
 }

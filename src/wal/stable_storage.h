@@ -30,13 +30,42 @@ class StableStorage {
   SiteId site() const { return site_; }
 
   // ---- Log ----------------------------------------------------------------
+  //
+  // The log has two watermarks: `log_size()` counts every appended record,
+  // `durable_size()` counts the forced prefix. A synchronous Append() keeps
+  // them equal; the group-commit path widens the gap with AppendBuffered()
+  // and closes it with ForceTail(). A crash loses exactly the records in
+  // [durable_size, log_size) — the unforced tail is volatile by construction.
 
-  /// Appends and forces a record; returns its LSN (dense, 0-based).
-  /// Every append models one synchronous stable-storage write.
+  /// Appends and forces a record; returns its LSN (dense, 0-based). The
+  /// force covers any buffered tail too, so the durable log is always a
+  /// prefix of append order even when buffered and synchronous appenders
+  /// interleave.
   Lsn Append(const LogRecord& record);
 
-  /// Number of records in the log.
+  /// Appends without forcing: the record is in the volatile batch buffer
+  /// until the next ForceTail()/Append() and is lost by DropUnforcedTail().
+  Lsn AppendBuffered(const LogRecord& record);
+
+  /// Forces every buffered record as ONE multi-record group (one force,
+  /// regardless of group size). Returns the number of records forced;
+  /// returns 0 — and counts no force — when the tail is already clean.
+  uint64_t ForceTail();
+
+  /// Discards the unforced tail (crash path): a crash interrupts the batch
+  /// buffer before its covering force, so those records never existed.
+  /// Returns the number of records dropped.
+  uint64_t DropUnforcedTail();
+
+  /// Number of records appended (forced or not).
   uint64_t log_size() const { return encoded_.size(); }
+
+  /// Number of records in the forced prefix — the log that survives a crash.
+  uint64_t durable_size() const { return durable_size_; }
+
+  /// Records / bytes sitting in the unforced tail right now.
+  uint64_t unforced_records() const { return encoded_.size() - durable_size_; }
+  uint64_t unforced_bytes() const { return log_bytes_ - durable_bytes_; }
 
   /// Decodes the record at `lsn`.
   StatusOr<LogRecord> Read(Lsn lsn) const;
@@ -59,10 +88,22 @@ class StableStorage {
   /// tail with this before appending new records after it).
   void Truncate(uint64_t new_size);
 
-  /// Total log appends (each is a force) — the E10 overhead metric.
+  /// Total stable-storage forces — the E10 overhead metric. One synchronous
+  /// Append is one force; one ForceTail over an N-record group is also one.
   uint64_t forces() const { return forces_; }
+  /// Total records ever appended (monotone; Truncate does not rewind it).
+  uint64_t appends() const { return appends_; }
   /// Total encoded log bytes.
   uint64_t log_bytes() const { return log_bytes_; }
+
+  // ---- Group accounting (bench attribution) --------------------------------
+
+  /// Records / encoded bytes covered by the most recent force.
+  uint64_t last_group_records() const { return last_group_records_; }
+  uint64_t last_group_bytes() const { return last_group_bytes_; }
+  /// Largest group any single force has covered.
+  uint64_t max_group_records() const { return max_group_records_; }
+  uint64_t max_group_bytes() const { return max_group_bytes_; }
 
   // ---- Database image (checkpoint target) ---------------------------------
 
@@ -102,13 +143,22 @@ class StableStorage {
   StatusOr<size_t> RecordSizeForTest(Lsn lsn) const;
 
  private:
+  Lsn AppendEncoded(const LogRecord& record);
+
   SiteId site_;
   std::vector<std::string> encoded_;
   std::map<ItemId, ImageEntry> image_;
   uint64_t checkpoint_upto_ = 0;
   uint64_t incarnation_ = 0;
   uint64_t forces_ = 0;
+  uint64_t appends_ = 0;
   uint64_t log_bytes_ = 0;
+  uint64_t durable_size_ = 0;
+  uint64_t durable_bytes_ = 0;
+  uint64_t last_group_records_ = 0;
+  uint64_t last_group_bytes_ = 0;
+  uint64_t max_group_records_ = 0;
+  uint64_t max_group_bytes_ = 0;
   std::function<void(Lsn, const LogRecord&)> post_append_hook_;
 };
 

@@ -240,11 +240,14 @@ class TransportTest : public ::testing::Test {
  protected:
   TransportTest() { Build(LinkParams::Synchronous(1000)); }
 
-  void Build(LinkParams link) {
+  void Build(LinkParams link, bool coalesce = false,
+             uint32_t max_frame_msgs = 8) {
     network_ = std::make_unique<Network>(&kernel_, 2, link, Rng(6));
     Transport::Options opts;
     opts.rto_us = 10'000;
     opts.ack_delay_us = 2'000;
+    opts.coalesce = coalesce;
+    opts.max_frame_msgs = max_frame_msgs;
     for (uint32_t s = 0; s < 2; ++s) {
       transport_[s] = std::make_unique<Transport>(&kernel_, network_.get(),
                                                   SiteId(s), &counters_[s],
@@ -426,6 +429,101 @@ TEST_F(TransportTest, StaleEpochPacketsAreDropped) {
 TEST_F(TransportTest, CancelUnknownTokenIsNoOp) {
   transport_[0]->CancelReliable(424242);  // no crash
   EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+// ---- Coalescing ------------------------------------------------------------
+//
+// With Options::coalesce on, sends stage per destination for one zero-delay
+// event tick and ride a single frame: the first message is the Packet's
+// primary, the rest go in Packet::extra. Channel state (epoch, seq_base,
+// piggyback ack) is frame-wide; dedup and delivery remain per message.
+
+TEST_F(TransportTest, CoalescedBurstToOnePeerRidesOneFrame) {
+  Build(LinkParams::Synchronous(1000), /*coalesce=*/true);
+  transport_[0]->SendDatagram(SiteId(1), std::make_shared<TestMsg>(1));
+  transport_[0]->SendReliable(SiteId(1), 10, std::make_shared<TestMsg>(2));
+  transport_[0]->SendReliable(SiteId(1), 11, std::make_shared<TestMsg>(3));
+  EXPECT_EQ(network_->stats().packets_sent, 0u);  // staged, not yet on wire
+  kernel_.Run(100'000);
+  EXPECT_EQ(received_[1], (std::vector<int>{1, 2, 3}));  // send order kept
+  EXPECT_EQ(transport_[0]->coalesced_frames(), 1u);
+  EXPECT_EQ(transport_[0]->coalesced_riders(), 2u);
+  EXPECT_EQ(acked_[0], (std::vector<uint64_t>{10, 11}));
+  // Exactly one data frame plus the receiver's one delayed pure ack.
+  EXPECT_EQ(network_->stats().packets_sent, 2u);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, MaxFrameMsgsChunksTheBurst) {
+  Build(LinkParams::Synchronous(1000), /*coalesce=*/true,
+        /*max_frame_msgs=*/4);
+  for (int i = 0; i < 10; ++i) {
+    transport_[0]->SendDatagram(SiteId(1), std::make_shared<TestMsg>(i));
+  }
+  kernel_.Run();
+  EXPECT_EQ(received_[1],
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(network_->stats().packets_sent, 3u);  // 4 + 4 + 2
+  EXPECT_EQ(transport_[0]->coalesced_frames(), 3u);
+  EXPECT_EQ(transport_[0]->coalesced_riders(), 7u);
+}
+
+TEST_F(TransportTest, DuplicatedFrameDedupsEverySubMessage) {
+  LinkParams dupl = LinkParams::Synchronous(1000);
+  dupl.duplicate_prob = 1.0;
+  Build(dupl, /*coalesce=*/true);
+  transport_[0]->SendReliable(SiteId(1), 20, std::make_shared<TestMsg>(2));
+  transport_[0]->SendReliable(SiteId(1), 21, std::make_shared<TestMsg>(3));
+  transport_[0]->SendReliable(SiteId(1), 22, std::make_shared<TestMsg>(4));
+  kernel_.Run(100'000);
+  // The duplicated frame re-offers all three subs; each is dropped by its
+  // own seq, not by a frame-level filter.
+  EXPECT_EQ(received_[1], (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(transport_[1]->dup_drops(), 3u);
+  EXPECT_EQ(acked_[0], (std::vector<uint64_t>{20, 21, 22}));
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, RetransmissionRoundsCoalesceToo) {
+  Build(LinkParams::Synchronous(1000), /*coalesce=*/true);
+  consume_[1] = false;  // receiver refuses: every round re-offers the burst
+  transport_[0]->SendReliable(SiteId(1), 30, std::make_shared<TestMsg>(5));
+  transport_[0]->SendReliable(SiteId(1), 31, std::make_shared<TestMsg>(6));
+  transport_[0]->SendReliable(SiteId(1), 32, std::make_shared<TestMsg>(7));
+  kernel_.Run(60'000);  // several backoff rounds
+  EXPECT_GE(transport_[0]->retransmissions(), 3u);
+  // Every round (initial and retransmit alike) is one 3-message frame.
+  EXPECT_GE(transport_[0]->coalesced_frames(), 2u);
+  EXPECT_EQ(transport_[0]->coalesced_riders(),
+            transport_[0]->coalesced_frames() * 2);
+  EXPECT_EQ(received_[1].size(), transport_[0]->coalesced_frames() * 3);
+}
+
+// The satellite fix this PR pins: when reverse traffic (coalesced or not)
+// carries the ack, the armed pure-ack timer is CANCELLED, not left to fire
+// into its ack_owed re-check.
+TEST_F(TransportTest, CoalescedReverseTrafficCancelsThePendingPureAck) {
+  Build(LinkParams::Synchronous(1000), /*coalesce=*/true);
+  transport_[0]->SendReliable(SiteId(1), 4, std::make_shared<TestMsg>(2));
+  // Reverse datagram staged after delivery (t=1000) but before the pure-ack
+  // delay (3000) expires; the ack attaches at its flush.
+  kernel_.Schedule(1'500, [this]() {
+    transport_[1]->SendDatagram(SiteId(0), std::make_shared<TestMsg>(9));
+  });
+  kernel_.Run(100'000);
+  EXPECT_EQ(acked_[0], (std::vector<uint64_t>{4}));
+  EXPECT_EQ(transport_[1]->pure_acks(), 0u);
+  EXPECT_EQ(transport_[1]->piggyback_acks(), 1u);
+  EXPECT_EQ(transport_[0]->outstanding(), 0u);
+}
+
+TEST_F(TransportTest, CrashDropsStagedMessages) {
+  Build(LinkParams::Synchronous(1000), /*coalesce=*/true);
+  transport_[0]->SendDatagram(SiteId(1), std::make_shared<TestMsg>(1));
+  transport_[0]->Crash();  // before the zero-delay flush event runs
+  kernel_.Run(100'000);
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(network_->stats().packets_sent, 0u);
 }
 
 TEST(TransportDeathTest, TokenCollisionFailsLoudly) {

@@ -6,6 +6,7 @@
 // bit position of a representative log, then end-to-end through a Site.
 #include <gtest/gtest.h>
 
+#include "chaos/harness.h"
 #include "dvpcore/catalog.h"
 #include "dvpcore/domain.h"
 #include "dvpcore/value_store.h"
@@ -160,6 +161,149 @@ TEST(WalTornTail, SiteRecoversThroughTornTail) {
   ASSERT_TRUE(cluster.Submit(SiteId(2), spec, nullptr).ok());
   cluster.RunFor(500'000);
   EXPECT_TRUE(cluster.AuditAll().ok());
+}
+
+// Group commit widens the gap between log_size and durable_size: a crash
+// mid-group must drop the WHOLE unforced suffix, and recovery must replay
+// exactly the forced prefix — never a partially-applied group.
+TEST(WalTornTail, CrashMidGroupDropsTheWholeUnforcedSuffix) {
+  core::Catalog catalog;
+  ItemId item = catalog.AddItem("d", CountDomain::Instance(), 100);
+  const uint64_t kForced = 3, kBuffered = 4;
+  wal::StableStorage storage = MakeLog(item, kForced);
+  for (uint64_t i = 0; i < kBuffered; ++i) {
+    wal::TxnCommitRec commit;
+    commit.txn = TxnId(kForced + i + 1);
+    commit.writes = {wal::FragmentWrite{
+        item, static_cast<int64_t>(101 + kForced + i), 1, 0}};
+    storage.AppendBuffered(wal::LogRecord(commit));
+  }
+  ASSERT_EQ(storage.log_size(), kForced + kBuffered);
+  ASSERT_EQ(storage.durable_size(), kForced);
+
+  // Recovery reads the durable prefix — the buffered tail contributes
+  // nothing even before the crash discards it.
+  core::ValueStore store(&catalog);
+  recovery::RecoveryReport report;
+  ASSERT_TRUE(recovery::RebuildStore(storage, &store, &report).ok());
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(report.valid_prefix, kForced);
+  EXPECT_EQ(store.value(item), ExpectedValue(kForced));
+
+  // The crash path: the whole unforced suffix vanishes at once.
+  EXPECT_EQ(storage.DropUnforcedTail(), kBuffered);
+  EXPECT_EQ(storage.log_size(), kForced);
+  EXPECT_EQ(storage.unforced_records(), 0u);
+  core::ValueStore store2(&catalog);
+  recovery::RecoveryReport report2;
+  ASSERT_TRUE(recovery::RebuildStore(storage, &store2, &report2).ok());
+  EXPECT_EQ(store2.value(item), ExpectedValue(kForced));
+}
+
+// End to end with the site running under group commit: transactions whose
+// commit record is still in the batch buffer when the site crashes must be
+// reported as site-failure aborts and leave no trace in the recovered
+// store, while transactions whose covering force completed stay committed.
+TEST(WalTornTail, SiteCrashMidBatchAbortsOnlyTheUnforcedGroup) {
+  core::Catalog catalog;
+  ItemId item = catalog.AddItem("d", CountDomain::Instance(), 120);
+  system::ClusterOptions opts;
+  opts.num_sites = 3;
+  opts.site.group_commit.enabled = true;
+  opts.site.group_commit.max_records = 64;       // only the timer can force
+  opts.site.group_commit.max_delay_us = 100'000;
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();  // 40 units at each site
+
+  // Phase 1: commits whose timer fires. They must survive the later crash.
+  std::vector<txn::TxnResult> phase1;
+  for (int i = 0; i < 2; ++i) {
+    txn::TxnSpec spec;
+    spec.ops = {txn::TxnOp::Increment(item, 1)};
+    ASSERT_TRUE(cluster
+                    .Submit(SiteId(2), spec,
+                            [&](const txn::TxnResult& r) {
+                              phase1.push_back(r);
+                            })
+                    .ok());
+  }
+  cluster.RunFor(300'000);  // past the 100ms force timer
+  ASSERT_EQ(phase1.size(), 2u);
+  EXPECT_EQ(phase1[0].outcome, txn::TxnOutcome::kCommitted);
+  EXPECT_EQ(phase1[1].outcome, txn::TxnOutcome::kCommitted);
+  ASSERT_EQ(cluster.storage(SiteId(2)).unforced_records(), 0u);
+  uint64_t durable_before = cluster.storage(SiteId(2)).durable_size();
+
+  // Phase 2: commits that reach the batch buffer but not their force.
+  std::vector<txn::TxnResult> phase2;
+  for (int i = 0; i < 3; ++i) {
+    txn::TxnSpec spec;
+    spec.ops = {txn::TxnOp::Increment(item, 5)};
+    ASSERT_TRUE(cluster
+                    .Submit(SiteId(2), spec,
+                            [&](const txn::TxnResult& r) {
+                              phase2.push_back(r);
+                            })
+                    .ok());
+  }
+  cluster.RunFor(10'000);  // records appended; timer (100ms) has not fired
+  // Two records per commit (TxnCommitRec + the applied marker), all buffered.
+  ASSERT_EQ(cluster.storage(SiteId(2)).unforced_records(), 6u);
+  EXPECT_TRUE(phase2.empty()) << "completion must wait for the force";
+
+  cluster.CrashSite(SiteId(2));
+  ASSERT_EQ(phase2.size(), 3u);
+  for (const txn::TxnResult& r : phase2) {
+    EXPECT_EQ(r.outcome, txn::TxnOutcome::kAbortSiteFailure);
+  }
+  EXPECT_EQ(cluster.site(SiteId(2)).counters().Get("wal.dropped_unforced"),
+            6u);
+  EXPECT_EQ(cluster.storage(SiteId(2)).log_size(), durable_before);
+
+  cluster.RecoverSite(SiteId(2));
+  cluster.RunFor(1'000'000);
+  ASSERT_TRUE(cluster.site(SiteId(2)).IsUp());
+  // 40 bootstrap + 2 phase-1 increments; the three unforced +5s never were.
+  EXPECT_EQ(cluster.site(SiteId(2)).LocalValue(item), 42);
+  EXPECT_TRUE(cluster.AuditAll().ok());
+  EXPECT_TRUE(cluster.AuditAllVolatile().ok());
+}
+
+// Pinned chaos reproducer: crash/recover cycles timed to land inside open
+// group-commit batches (records bound high, timer 2ms, crashes at odd
+// offsets) with frame coalescing on. Guards the whole deferral chain —
+// unforced commit records must abort as site failures, unforced Vm accepts
+// must not ack, and conservation must hold through every rebirth.
+TEST(WalTornTail, ChaosCrashMidBatchWithCoalescing) {
+  chaos::ChaosCase c;
+  c.seed = 404;
+  c.perturb_seed = 4041;
+  c.max_jitter_us = 150;
+  c.workload.sites = 4;
+  c.workload.items = 2;
+  c.workload.total = 200;
+  c.workload.txns = 60;
+  c.workload.gap_us = 15'000;
+  c.workload.redist_permille = 350;
+  c.workload.max_amount = 15;
+  c.workload.timeout_us = 150'000;
+  c.workload.loss_permille = 200;
+  c.workload.dup_permille = 100;
+  c.workload.group_commit_records = 32;  // the 2ms timer does the forcing
+  c.workload.group_commit_delay_us = 2'000;
+  c.workload.coalesce = 1;
+  c.plan.events = {{101'000, chaos::FaultKind::kCrash, 1, 0},
+                   {400'000, chaos::FaultKind::kRecover, 1, 0},
+                   {501'500, chaos::FaultKind::kCrash, 2, 0},
+                   {503'000, chaos::FaultKind::kCrash, 3, 0},
+                   {900'000, chaos::FaultKind::kRecover, 2, 0},
+                   {950'000, chaos::FaultKind::kRecover, 3, 0},
+                   {1'201'000, chaos::FaultKind::kCrash, 1, 0},
+                   {1'500'000, chaos::FaultKind::kRecover, 1, 0}};
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << r.violation << "\n" << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
 }
 
 }  // namespace
