@@ -8,6 +8,8 @@
 //
 // Sweep: partition injection period (how often a random 2-way split of 300ms
 // hits the 4-site network), identical workload on DvP and 2PC/write-all.
+#include <cassert>
+
 #include "baseline/twopc.h"
 #include "bench/bench_common.h"
 
@@ -57,6 +59,9 @@ Row RunDvp(SimTime period_us) {
   row.system = "DvP";
   row.period = period_us;
   row.results = driver.Run(kRun, kDrain);
+  // Every split must have healed inside the injection window: the drain
+  // phase measures decision tails, not a leftover partition.
+  assert(injector.healed_at_end());
   row.undecided = row.results.submitted - row.results.decided();
   return row;
 }
@@ -92,6 +97,7 @@ Row Run2pc(SimTime period_us) {
   row.system = "2PC";
   row.period = period_us;
   row.results = driver.Run(kRun, kDrain);
+  assert(injector.healed_at_end());
   row.undecided = row.results.submitted - row.results.decided();
   row.max_blocked_ms = cluster.blocked_time().max() / 1000.0;
   return row;

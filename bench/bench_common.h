@@ -2,6 +2,7 @@
 // prints fixed-format tables whose rows are recorded in EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "dvpcore/catalog.h"
+#include "obs/json.h"
 #include "system/cluster.h"
 #include "workload/adapter.h"
 #include "workload/generator.h"
@@ -40,6 +42,12 @@ class PartitionInjector {
   }
 
   uint64_t splits() const { return splits_; }
+  uint64_t heals() const { return heals_; }
+  /// True when every split it caused was also healed — i.e. the injector
+  /// left the network whole at the end of its window. Availability benches
+  /// assert this so the post-window drain never runs against a partition the
+  /// injector forgot.
+  bool healed_at_end() const { return heals_ == splits_; }
 
  private:
   void Arm() {
@@ -59,8 +67,16 @@ class PartitionInjector {
         } while (a.empty() || b.empty());
         (void)adapter_->Partition({a, b});
         ++splits_;
-        adapter_->kernel().Schedule(duration_us_,
-                                    [this]() { adapter_->Heal(); });
+        // Clamp the heal inside the armed window: a split near `until_`
+        // must not leave the network partitioned after the injector is
+        // nominally done (the heal used to land past `until_`, poisoning
+        // whatever the bench measured next).
+        SimTime heal_at =
+            std::min(adapter_->Now() + duration_us_, until_);
+        adapter_->kernel().ScheduleAt(heal_at, [this]() {
+          adapter_->Heal();
+          ++heals_;
+        });
       }
       Arm();
     });
@@ -72,6 +88,7 @@ class PartitionInjector {
   SimTime until_ = 0;
   Rng rng_;
   uint64_t splits_ = 0;
+  uint64_t heals_ = 0;
 };
 
 /// A catalog with `n_items` count items of `total` each.
@@ -93,54 +110,12 @@ inline void PrintHeader(const std::string& id, const std::string& claim) {
 }
 
 /// Deterministic JSON metrics sink for the bench binaries (`--json <path>`).
-/// Keys emit sorted; integers render as integers and doubles with fixed
-/// six-digit precision, so a fixed-seed run produces byte-identical files —
-/// the property the CI perf-smoke bounds check and BENCH_seed.json rely on.
-class JsonMetrics {
- public:
-  void Set(const std::string& key, uint64_t v) {
-    entries_[key] = std::to_string(v);
-  }
-  void Set(const std::string& key, int64_t v) {
-    entries_[key] = std::to_string(v);
-  }
-  void Set(const std::string& key, int v) { Set(key, int64_t{v}); }
-  void Set(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6f", v);
-    entries_[key] = buf;
-  }
-  void Set(const std::string& key, const std::string& v) {
-    std::string quoted = "\"";
-    for (char ch : v) {
-      if (ch == '"' || ch == '\\') quoted += '\\';
-      quoted += ch;
-    }
-    quoted += '"';
-    entries_[key] = std::move(quoted);
-  }
-
-  std::string ToString() const {
-    std::string out = "{\n";
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      out += "  \"" + it->first + "\": " + it->second;
-      out += std::next(it) == entries_.end() ? "\n" : ",\n";
-    }
-    out += "}\n";
-    return out;
-  }
-
-  /// Writes the file when `path` is nonempty; a no-op sink otherwise, so
-  /// callers record metrics unconditionally.
-  void WriteTo(const std::string& path) const {
-    if (path.empty()) return;
-    std::ofstream f(path, std::ios::trunc);
-    f << ToString();
-  }
-
- private:
-  std::map<std::string, std::string> entries_;  // key -> rendered value
-};
+/// Now the shared obs::JsonWriter: keys emit sorted, integers render as
+/// integers, doubles with fixed six-digit precision (non-finite values as
+/// null — strict parsers reject NaN), so a fixed-seed run produces
+/// byte-identical files — the property the CI perf-smoke bounds check and
+/// BENCH_seed.json rely on.
+using JsonMetrics = ::dvp::obs::JsonWriter;
 
 /// Extracts `--json <path>` (or `--json=<path>`) from argv; empty if absent.
 inline std::string JsonPathFromArgs(int argc, char** argv) {

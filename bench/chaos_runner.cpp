@@ -9,19 +9,29 @@
 // once the wall budget is spent (the JSON then reflects however many runs
 // completed, so budgeted invocations are NOT comparable byte-for-byte).
 //
+// With --trace-out=PATH, the first failure's *shrunken* case is replayed
+// once more with a causal TraceRecorder attached and its Perfetto timeline
+// is written next to the repro literal; each failure's JSON entry also
+// carries the trace-backed explanation (which Vm double-counted, at what
+// virtual time). Tracing never perturbs the run: the replay's digest equals
+// the untraced one.
+//
 //   chaos_runner --seed-start=1 --runs=200
 //   chaos_runner --runs=50 --budget-ms=60000        # CI swarm
-//   chaos_runner --runs=1 --plant-at-us=400000      # planted-violation demo
+//   chaos_runner --runs=1 --plant-at-us=400000 --trace-out=timeline.json
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "chaos/harness.h"
 #include "chaos/shrink.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -33,14 +43,11 @@ bool FlagU64(std::string_view arg, std::string_view name, uint64_t* out) {
   return true;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') out += '\\';
-    out += ch;
-  }
-  return out;
+bool FlagStr(std::string_view arg, std::string_view name, std::string* out) {
+  std::string prefix = "--" + std::string(name) + "=";
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  *out = std::string(arg.substr(prefix.size()));
+  return true;
 }
 
 }  // namespace
@@ -50,17 +57,19 @@ int main(int argc, char** argv) {
   uint64_t runs = 50;
   uint64_t budget_ms = 0;  // 0 = no wall budget
   uint64_t plant_at_us = 0;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (FlagU64(arg, "seed-start", &seed_start) ||
         FlagU64(arg, "runs", &runs) || FlagU64(arg, "budget-ms", &budget_ms) ||
-        FlagU64(arg, "plant-at-us", &plant_at_us)) {
+        FlagU64(arg, "plant-at-us", &plant_at_us) ||
+        FlagStr(arg, "trace-out", &trace_out)) {
       continue;
     }
     std::cerr << "unknown flag: " << arg << "\n"
               << "usage: chaos_runner [--seed-start=N] [--runs=N]"
-                 " [--budget-ms=N] [--plant-at-us=N]\n";
+                 " [--budget-ms=N] [--plant-at-us=N] [--trace-out=PATH]\n";
     return 2;
   }
 
@@ -78,10 +87,12 @@ int main(int argc, char** argv) {
   struct Failure {
     uint64_t seed;
     std::string violation;
+    std::string explanation;
     dvp::SimTime violation_time;
     size_t shrunk_events;
     uint32_t shrink_runs;
     std::string literal;
+    dvp::chaos::ChaosCase shrunk;
   };
   std::vector<Failure> failures;
   uint64_t completed = 0;
@@ -106,9 +117,9 @@ int main(int argc, char** argv) {
       dvp::chaos::ShrinkOptions sopts;
       sopts.run = run_opts;
       dvp::chaos::ShrinkResult sr = dvp::chaos::Shrink(c, sopts);
-      failures.push_back({seed, r.violation, r.violation_time,
+      failures.push_back({seed, r.violation, r.explanation, r.violation_time,
                           sr.minimal.plan.events.size(), sr.runs,
-                          sr.minimal.ToLiteral()});
+                          sr.minimal.ToLiteral(), sr.minimal});
     }
     if ((i + 1) % 25 == 0 || i + 1 == runs) {
       std::cerr << "[" << (i + 1) << "/" << runs << "] " << wall_ms()
@@ -116,25 +127,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "{\n";
-  std::cout << "  \"seed_start\": " << seed_start << ",\n";
-  std::cout << "  \"runs_requested\": " << runs << ",\n";
-  std::cout << "  \"runs_completed\": " << completed << ",\n";
-  std::cout << "  \"swarm_digest\": \"" << std::hex << swarm_digest << std::dec
-            << "\",\n";
-  std::cout << "  \"failures\": [";
+  if (!failures.empty() && !trace_out.empty()) {
+    // Replay the first failure's minimal case with the trace recorder on and
+    // dump the event timeline next to the repro literal. Recording is
+    // passive, so this replay reproduces the failure exactly.
+    dvp::obs::TraceRecorder recorder;
+    dvp::chaos::RunOptions topts = run_opts;
+    topts.trace = &recorder;
+    dvp::chaos::RunResult tr = dvp::chaos::RunCase(failures[0].shrunk, topts);
+    recorder.WriteTo(trace_out);
+    if (!tr.explanation.empty()) failures[0].explanation = tr.explanation;
+    std::cerr << "failure timeline (" << recorder.events().size()
+              << " events) written to " << trace_out << "\n";
+  }
+
+  dvp::obs::JsonWriter out;
+  out.Set("seed_start", seed_start);
+  out.Set("runs_requested", runs);
+  out.Set("runs_completed", completed);
+  std::ostringstream hex;
+  hex << std::hex << swarm_digest;
+  out.Set("swarm_digest", hex.str());
+  out.Set("ok", failures.empty());
+  std::string arr = "[";
   for (size_t i = 0; i < failures.size(); ++i) {
     const Failure& f = failures[i];
-    std::cout << (i ? "," : "") << "\n    {\"seed\": " << f.seed
-              << ", \"violation\": \"" << JsonEscape(f.violation)
-              << "\", \"violation_time_us\": " << f.violation_time
-              << ", \"shrunk_plan_events\": " << f.shrunk_events
-              << ", \"shrink_runs\": " << f.shrink_runs
-              << ", \"repro\": \"" << JsonEscape(f.literal) << "\"}";
+    arr += (i ? "," : "");
+    arr += "\n    {\"seed\": " + std::to_string(f.seed) + ", \"violation\": \"" +
+           dvp::obs::JsonWriter::Escape(f.violation) +
+           "\", \"explanation\": \"" +
+           dvp::obs::JsonWriter::Escape(f.explanation) +
+           "\", \"violation_time_us\": " + std::to_string(f.violation_time) +
+           ", \"shrunk_plan_events\": " + std::to_string(f.shrunk_events) +
+           ", \"shrink_runs\": " + std::to_string(f.shrink_runs) +
+           ", \"repro\": \"" + dvp::obs::JsonWriter::Escape(f.literal) + "\"}";
   }
-  std::cout << (failures.empty() ? "" : "\n  ") << "],\n";
-  std::cout << "  \"ok\": " << (failures.empty() ? "true" : "false") << "\n";
-  std::cout << "}\n";
+  arr += std::string(failures.empty() ? "" : "\n  ") + "]";
+  out.SetRaw("failures", arr);
+  std::cout << out.ToString();
 
   std::cerr << "total wall time " << wall_ms() << "ms\n";
   return failures.empty() ? 0 : 1;

@@ -128,6 +128,7 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
     copts.site.group_commit.max_delay_us = w.group_commit_delay_us;
   }
   copts.site.transport.coalesce = w.coalesce != 0;
+  copts.site.trace = opts.trace;
   if (c.perturb_seed != 0) {
     copts.perturb.seed = c.perturb_seed;
     copts.perturb.shuffle_ties = true;
@@ -323,6 +324,9 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
     if (!s.ok()) {
       Fail(&result, cluster.Now(), std::string(where) + ": " + s.message());
       trace(std::string("ORACLE VIOLATION (") + where + "): " + s.message());
+      if (result.explanation.empty()) {
+        result.explanation = ExplainViolation(cluster.Storages(), opts.trace);
+      }
     } else if (result.max_latency_us > result.latency_bound_us) {
       Fail(&result, cluster.Now(),
            std::string(where) + ": non-blocking bound exceeded: latency " +

@@ -24,6 +24,10 @@
 #include "chaos/oracles.h"
 #include "common/types.h"
 
+namespace dvp::obs {
+class TraceRecorder;
+}  // namespace dvp::obs
+
 namespace dvp::chaos {
 
 /// Marker for "pick a random up site per submission".
@@ -89,11 +93,20 @@ struct RunOptions {
   /// Audit durable conservation after EVERY simulation event, not just at
   /// the probe instants (expensive — keep the workload modest).
   bool audit_every_event = false;
+  /// Optional causal trace recorder, shared by every component of every site
+  /// in the run. Recording is passive (never touches the kernel queue or any
+  /// RNG), so a traced run executes the same event sequence — and produces
+  /// the same digest — as an untraced one.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct RunResult {
   bool ok = true;
   std::string violation;          ///< first oracle failure (empty when ok)
+  /// Trace-backed account of the first Vm-accounting anomaly behind the
+  /// violation: which Vm double-counted (or appeared from thin air), between
+  /// which sites, at what virtual time. Empty when ok or unexplained.
+  std::string explanation;
   SimTime violation_time = -1;
   uint64_t events_executed = 0;
   uint64_t submitted = 0;         ///< submissions accepted by an up site

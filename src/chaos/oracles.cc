@@ -1,11 +1,15 @@
 #include "chaos/oracles.h"
 
+#include <cstring>
 #include <map>
 #include <variant>
+#include <vector>
 
 #include "dvpcore/value_store.h"
+#include "obs/trace.h"
 #include "recovery/recovery.h"
 #include "verify/conservation.h"
+#include "vm/vm_manager.h"
 #include "wal/record.h"
 
 namespace dvp::chaos {
@@ -117,6 +121,104 @@ Status CheckWalPrefixes(const wal::StableStorage& storage,
     if (limit == size) break;
   }
   return Status::OK();
+}
+
+std::string ExplainViolation(
+    std::span<const wal::StableStorage* const> storages,
+    const obs::TraceRecorder* trace) {
+  struct Entry {
+    uint64_t creates = 0;
+    uint64_t accepts = 0;
+    uint64_t acks = 0;
+    SiteId dst;
+    ItemId item;
+    int64_t amount = 0;
+    ItemId accepted_item;
+    int64_t accepted_amount = 0;
+  };
+  std::map<VmId, Entry> ledger;
+  for (const wal::StableStorage* storage : storages) {
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, storage->log_size(),
+        [&](Lsn, const wal::LogRecord& rec) {
+          if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+            Entry& e = ledger[c->vm];
+            ++e.creates;
+            e.dst = c->dst;
+            e.item = c->item;
+            e.amount = c->amount;
+          } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+            Entry& e = ledger[a->vm];
+            ++e.accepts;
+            e.accepted_item = a->item;
+            e.accepted_amount = a->amount;
+          } else if (const auto* k = std::get_if<wal::VmAckedRec>(&rec)) {
+            ++ledger[k->vm].acks;
+          }
+        },
+        &ignored);
+  }
+
+  // Every virtual time at which the named vm.* event fired for this VmId.
+  // The Vm layer stamps each such event with the vm id as its first arg.
+  auto times = [trace](const char* event, VmId vm) -> std::string {
+    if (trace == nullptr) return "";
+    std::string out;
+    for (const obs::TraceEvent& e : trace->events()) {
+      if (std::strcmp(e.name, event) == 0 && e.k1 != nullptr &&
+          e.v1 == vm.value()) {
+        out += (out.empty() ? " at t=" : ",") + std::to_string(e.ts);
+      }
+    }
+    return out;
+  };
+
+  std::vector<std::string> lines;
+  for (const auto& [vm, e] : ledger) {
+    std::string route = "site " + vm::VmIdSite(vm).ToString() + " -> site " +
+                        e.dst.ToString() + ", item " + e.item.ToString() +
+                        ", amount " + std::to_string(e.amount);
+    if (e.creates > 1) {
+      lines.push_back("vm " + vm.ToString() + " created " +
+                      std::to_string(e.creates) + " times (" + route + ")" +
+                      times("vm.born", vm));
+    }
+    if (e.accepts > 1) {
+      lines.push_back("vm " + vm.ToString() + " double-counted: accepted " +
+                      std::to_string(e.accepts) + " times (" + route + ")" +
+                      times("vm.accepted", vm));
+    }
+    if (e.accepts == 1 && e.creates == 0) {
+      lines.push_back("vm " + vm.ToString() +
+                      " accepted without a creation record" +
+                      times("vm.accepted", vm));
+    }
+    if (e.accepts == 1 && e.creates == 1 &&
+        (e.accepted_item != e.item || e.accepted_amount != e.amount)) {
+      lines.push_back("vm " + vm.ToString() + " accepted (item " +
+                      e.accepted_item.ToString() + ", amount " +
+                      std::to_string(e.accepted_amount) +
+                      ") != created (item " + e.item.ToString() +
+                      ", amount " + std::to_string(e.amount) + ")");
+    }
+    if (e.creates >= 1 && e.accepts == 0) {
+      std::string born = times("vm.born", vm);
+      if (trace != nullptr && born.empty()) {
+        born = " (no vm.born trace event — record not produced by the Vm "
+               "layer)";
+      }
+      lines.push_back("vm " + vm.ToString() + " open: " + route +
+                      " in flight, born" + born);
+    }
+  }
+
+  std::string out;
+  for (size_t i = 0; i < lines.size() && i < 8; ++i) out += lines[i] + "\n";
+  if (lines.size() > 8) {
+    out += "(+" + std::to_string(lines.size() - 8) + " more)\n";
+  }
+  return out;
 }
 
 Status CheckInvariants(const system::Cluster& cluster,

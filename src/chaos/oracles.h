@@ -21,10 +21,16 @@
 #include <cstdint>
 #include <span>
 
+#include <string>
+
 #include "common/status.h"
 #include "dvpcore/catalog.h"
 #include "system/cluster.h"
 #include "wal/stable_storage.h"
+
+namespace dvp::obs {
+class TraceRecorder;
+}  // namespace dvp::obs
 
 namespace dvp::chaos {
 
@@ -49,5 +55,18 @@ Status CheckWalPrefixes(const wal::StableStorage& storage,
 /// Runs every enabled oracle against the cluster; first violation wins.
 Status CheckInvariants(const system::Cluster& cluster,
                        const OracleOptions& opts);
+
+/// Trace-backed explanation of a conservation / exactly-once violation:
+/// re-walks every log's Vm records and names each anomaly — a VmId created or
+/// accepted more than once, accepted without a creation, accepted with a
+/// mismatched (item, amount), or still open — with its endpoints and, when a
+/// TraceRecorder was attached to the run, the virtual times of the matching
+/// vm.born / vm.accepted events. A created record with no vm.born event is
+/// called out explicitly: it was planted in the log behind the Vm layer's
+/// back. Returns at most eight lines; empty when the logs are clean (the
+/// violation lies elsewhere, e.g. a torn fragment write).
+std::string ExplainViolation(
+    std::span<const wal::StableStorage* const> storages,
+    const obs::TraceRecorder* trace);
 
 }  // namespace dvp::chaos

@@ -70,6 +70,9 @@ double Histogram::StdDev() const {
 }
 
 std::string Histogram::Summary() const {
+  // An empty histogram has no extrema or quantiles; printing the accessors'
+  // 0.0 placeholders would fabricate a sample that never existed.
+  if (samples_.empty()) return "n=0";
   std::ostringstream os;
   os << "n=" << count() << " mean=" << mean() << " p50=" << Median()
      << " p99=" << P99() << " max=" << max();

@@ -31,7 +31,8 @@ class Histogram {
   double P99() const { return Percentile(0.99); }
   double StdDev() const;
 
-  /// One-line summary: "n=... mean=... p50=... p99=... max=...".
+  /// One-line summary: "n=... mean=... p50=... p99=... max=...", or just
+  /// "n=0" when empty — an empty histogram has no extrema to report.
   std::string Summary() const;
 
  private:

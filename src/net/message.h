@@ -22,6 +22,11 @@ class Envelope {
   virtual ~Envelope() = default;
   /// Short human-readable tag for tracing (e.g. "VmTransfer", "Request").
   virtual std::string_view Tag() const = 0;
+
+  /// Causal id of the transaction (or standalone Vm) this payload serves;
+  /// senders stamp it, replies echo it, and the trace recorder links the
+  /// cross-site events it appears in into one chain. 0 = uncorrelated.
+  uint64_t trace_id = 0;
 };
 
 using EnvelopePtr = std::shared_ptr<const Envelope>;
@@ -69,6 +74,10 @@ struct Packet {
   bool has_ack = false;
 
   EnvelopePtr payload;  // null for pure acks
+
+  /// Causal id copied from the primary payload (0 for pure acks), so
+  /// frame-level trace events correlate without downcasting the payload.
+  uint64_t trace_id = 0;
 
   /// Coalesced riders in send order; empty unless the sender coalesces.
   std::vector<SubMsg> extra;

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace dvp::net {
 
 namespace {
@@ -21,12 +23,23 @@ uint64_t Mix(uint64_t x) {
 }  // namespace
 
 Transport::Transport(sim::Kernel* kernel, Network* network, SiteId self,
-                     CounterSet* counters, Options options)
+                     obs::MetricsRegistry* metrics, Options options,
+                     obs::TraceRecorder* trace)
     : kernel_(kernel),
       network_(network),
       self_(self),
-      counters_(counters),
-      options_(options) {}
+      trace_(trace),
+      options_(options),
+      m_ack_piggyback_(obs::CounterIn(metrics, "transport.ack_piggyback")),
+      m_ack_pure_(obs::CounterIn(metrics, "transport.ack_pure")),
+      m_stale_epoch_drop_(obs::CounterIn(metrics, "transport.stale_epoch_drop")),
+      m_cum_fastforward_(obs::CounterIn(metrics, "transport.cum_fastforward")),
+      m_dup_drop_(obs::CounterIn(metrics, "transport.dup_drop")),
+      m_window_drop_(obs::CounterIn(metrics, "transport.window_drop")),
+      m_retransmit_(obs::CounterIn(metrics, "transport.retransmit")),
+      m_coalesced_frames_(obs::CounterIn(metrics, "transport.coalesced_frames")),
+      m_coalesced_riders_(obs::CounterIn(metrics, "transport.coalesced_riders")) {
+}
 
 Transport::~Transport() { *alive_ = false; }
 
@@ -54,8 +67,17 @@ void Transport::AttachAck(Packet* p) {
     pi.ack_owed = false;  // this packet is the ack; the pure-ack timer yields
     pi.ack_timer.Cancel();
     ++piggyback_acks_;
-    if (counters_) counters_->Inc("transport.ack_piggyback");
+    m_ack_piggyback_->Inc();
   }
+}
+
+void Transport::SendOnWire(Packet&& p) {
+  p.trace_id = p.payload ? p.payload->trace_id : 0;
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kNet, "net.send", p.trace_id, "dst",
+                    p.dst.value(), "seq", p.seq.valid() ? p.seq.value() : 0);
+  }
+  network_->Send(std::move(p));
 }
 
 void Transport::Stage(SiteId dst, Reliability reliability, uint64_t seq,
@@ -97,13 +119,11 @@ void Transport::FlushStaging() {
       if (!p.extra.empty()) {
         ++coalesced_frames_;
         coalesced_riders_ += p.extra.size();
-        if (counters_) {
-          counters_->Inc("transport.coalesced_frames");
-          counters_->Inc("transport.coalesced_riders", p.extra.size());
-        }
+        m_coalesced_frames_->Inc();
+        m_coalesced_riders_->Inc(p.extra.size());
       }
       AttachAck(&p);
-      network_->Send(std::move(p));
+      SendOnWire(std::move(p));
     }
   }
 }
@@ -126,7 +146,7 @@ void Transport::SendPacket(SiteId dst, uint64_t seq,
   }
   p.payload = payload;
   AttachAck(&p);
-  network_->Send(std::move(p));
+  SendOnWire(std::move(p));
 }
 
 void Transport::SendDatagram(SiteId dst, EnvelopePtr payload) {
@@ -141,7 +161,7 @@ void Transport::SendDatagram(SiteId dst, EnvelopePtr payload) {
   p.epoch = epoch_;
   p.payload = std::move(payload);
   AttachAck(&p);
-  network_->Send(std::move(p));
+  SendOnWire(std::move(p));
 }
 
 void Transport::SendReliable(SiteId dst, uint64_t token,
@@ -197,6 +217,10 @@ void Transport::ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum) {
     po.next_due = kernel_->Now() + JitteredInterval(from, po);
   }
   for (uint64_t token : completed) {
+    if (trace_) {
+      trace_->Instant(self_, obs::Track::kNet, "net.ack", 0, "peer",
+                      from.value(), "token", token);
+    }
     if (ack_fn_) ack_fn_(token);
   }
 }
@@ -221,8 +245,8 @@ void Transport::OweAck(SiteId src) {
     p.ack_epoch = it->second.epoch;
     p.ack_cum = it->second.cum;
     ++pure_acks_;
-    if (counters_) counters_->Inc("transport.ack_pure");
-    network_->Send(std::move(p));
+    m_ack_pure_->Inc();
+    SendOnWire(std::move(p));
   });
 }
 
@@ -252,7 +276,7 @@ void Transport::ProcessSub(SiteId src, uint64_t epoch, Reliability reliability,
   if (epoch < pi.epoch) {
     // A packet from the sender's previous life; its numbering is void and
     // anything it carried was re-driven from the sender's log.
-    if (counters_) counters_->Inc("transport.stale_epoch_drop");
+    m_stale_epoch_drop_->Inc();
     return;
   }
   if (epoch > pi.epoch) {
@@ -274,19 +298,24 @@ void Transport::ProcessSub(SiteId src, uint64_t epoch, Reliability reliability,
       pi.above.erase(pi.cum + 1);
       ++pi.cum;
     }
-    if (counters_) counters_->Inc("transport.cum_fastforward");
+    m_cum_fastforward_->Inc();
   }
 
   if (seq <= pi.cum || pi.above.contains(seq)) {
     ++dup_drops_;
-    if (counters_) counters_->Inc("transport.dup_drop");
+    m_dup_drop_->Inc();
+    if (trace_) {
+      trace_->Instant(self_, obs::Track::kNet, "net.dedup",
+                      payload ? payload->trace_id : 0, "src", src.value(),
+                      "seq", seq);
+    }
     OweAck(src);  // the sender evidently missed our ack; re-ack
     return;
   }
   if (seq > pi.cum + options_.recv_window) {
     // Beyond the receive window: recording it would unbound the dedup set.
     // Drop without acking; the sender's backoff re-offers it later.
-    if (counters_) counters_->Inc("transport.window_drop");
+    m_window_drop_->Inc();
     return;
   }
 
@@ -374,7 +403,12 @@ void Transport::OnTimer() {
       SendPacket(peer, seq, ps.payload);
       ++ps.sends;
       ++retransmissions_;
-      if (counters_) counters_->Inc("transport.retransmit");
+      m_retransmit_->Inc();
+      if (trace_) {
+        trace_->Instant(self_, obs::Track::kNet, "net.retransmit",
+                        ps.payload ? ps.payload->trace_id : 0, "dst",
+                        peer.value(), "seq", seq);
+      }
       ++sent;
     }
     po.backoff_exp = std::min(po.backoff_exp + 1, uint32_t{30});

@@ -45,7 +45,12 @@
 #include "common/histogram.h"
 #include "common/types.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
+
+namespace dvp::obs {
+class TraceRecorder;
+}
 
 namespace dvp::net {
 
@@ -78,7 +83,8 @@ class Transport {
   };
 
   Transport(sim::Kernel* kernel, Network* network, SiteId self,
-            CounterSet* counters, Options options);
+            obs::MetricsRegistry* metrics, Options options,
+            obs::TraceRecorder* trace = nullptr);
   ~Transport();
 
   /// Fire-and-forget send (carries a piggybacked ack when one is owed).
@@ -180,6 +186,9 @@ class Transport {
 
   void ArmTimer();
   void OnTimer();
+  /// Stamps the frame's trace_id from its primary payload, records the
+  /// net.send trace event, and hands the packet to the network.
+  void SendOnWire(Packet&& p);
   void SendPacket(SiteId dst, uint64_t seq, const EnvelopePtr& payload);
   void AttachAck(Packet* p);
   /// Queues one message for `dst` and arms the zero-delay flush event.
@@ -201,8 +210,20 @@ class Transport {
   sim::Kernel* kernel_;
   Network* network_;
   SiteId self_;
-  CounterSet* counters_;
+  obs::TraceRecorder* trace_;
   Options options_;
+
+  // Typed metric handles, resolved once at construction (obs::MetricsRegistry
+  // map nodes are stable); the hot path is a pointer increment.
+  obs::Counter* m_ack_piggyback_;
+  obs::Counter* m_ack_pure_;
+  obs::Counter* m_stale_epoch_drop_;
+  obs::Counter* m_cum_fastforward_;
+  obs::Counter* m_dup_drop_;
+  obs::Counter* m_window_drop_;
+  obs::Counter* m_retransmit_;
+  obs::Counter* m_coalesced_frames_;
+  obs::Counter* m_coalesced_riders_;
   std::function<bool(SiteId, EnvelopePtr)> deliver_fn_;
   std::function<void(uint64_t)> ack_fn_;
 

@@ -1,0 +1,109 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/histogram.h"
+
+namespace dvp::obs {
+
+void JsonWriter::Set(const std::string& key, uint64_t v) {
+  entries_[key] = std::to_string(v);
+}
+
+void JsonWriter::Set(const std::string& key, int64_t v) {
+  entries_[key] = std::to_string(v);
+}
+
+void JsonWriter::Set(const std::string& key, double v) {
+  if (!std::isfinite(v)) {
+    entries_[key] = "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  entries_[key] = buf;
+}
+
+void JsonWriter::Set(const std::string& key, bool v) {
+  entries_[key] = v ? "true" : "false";
+}
+
+void JsonWriter::Set(const std::string& key, const std::string& v) {
+  entries_[key] = "\"" + Escape(v) + "\"";
+}
+
+void JsonWriter::SetNull(const std::string& key) { entries_[key] = "null"; }
+
+void JsonWriter::SetRaw(const std::string& key, std::string rendered) {
+  entries_[key] = std::move(rendered);
+}
+
+void JsonWriter::SetHistogram(const std::string& prefix, const Histogram& h) {
+  Set(prefix + ".n", static_cast<uint64_t>(h.count()));
+  Set(prefix + ".mean", h.mean());
+  Set(prefix + ".p50", h.Median());
+  Set(prefix + ".p99", h.P99());
+  if (h.count() == 0) {
+    SetNull(prefix + ".min");
+    SetNull(prefix + ".max");
+  } else {
+    Set(prefix + ".min", h.min());
+    Set(prefix + ".max", h.max());
+  }
+}
+
+std::string JsonWriter::ToString() const {
+  std::string out = "{\n";
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    out += "  \"" + it->first + "\": " + it->second;
+    out += std::next(it) == entries_.end() ? "\n" : ",\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void JsonWriter::WriteTo(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream f(path, std::ios::trunc);
+  f << ToString();
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          // Strict JSON forbids raw control characters inside strings.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dvp::obs

@@ -1,0 +1,55 @@
+// Deterministic JSON sink shared by the bench binaries and chaos_runner —
+// the single DumpJson of the observability layer. Keys emit sorted; integers
+// render as integers, doubles with fixed six-digit precision, and non-finite
+// doubles as null (printf's "nan"/"inf" are not JSON and silently broke the
+// CI byte-diff before this class existed). A fixed-seed run therefore
+// produces byte-identical, strictly-parseable files — the property the CI
+// perf-smoke bounds check and BENCH_seed.json rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dvp {
+class Histogram;
+}
+
+namespace dvp::obs {
+
+class JsonWriter {
+ public:
+  void Set(const std::string& key, uint64_t v);
+  void Set(const std::string& key, int64_t v);
+  void Set(const std::string& key, int v) { Set(key, int64_t{v}); }
+  void Set(const std::string& key, unsigned v) { Set(key, uint64_t{v}); }
+  /// Non-finite values serialize as null: strict JSON has no nan/inf.
+  void Set(const std::string& key, double v);
+  void Set(const std::string& key, bool v);
+  void Set(const std::string& key, const std::string& v);
+  void Set(const std::string& key, const char* v) { Set(key, std::string(v)); }
+  void SetNull(const std::string& key);
+  /// Pre-rendered JSON fragment (nested array/object); the caller guarantees
+  /// validity. This is how chaos_runner embeds its failures array.
+  void SetRaw(const std::string& key, std::string rendered);
+
+  /// Emits `prefix.n/.mean/.p50/.p99/.min/.max`. An empty histogram emits
+  /// n=0 with null extrema — a real 0-valued sample and "no samples" must
+  /// not be conflated in dumps (the Histogram::min()/max() 0.0 ambiguity).
+  void SetHistogram(const std::string& prefix, const Histogram& h);
+
+  std::string ToString() const;
+
+  /// Writes the file when `path` is nonempty; a no-op sink otherwise, so
+  /// callers record metrics unconditionally.
+  void WriteTo(const std::string& path) const;
+
+  /// JSON string escaping for ", \ and control characters (shared with
+  /// hand-rendered fragments).
+  static std::string Escape(const std::string& s);
+
+ private:
+  std::map<std::string, std::string> entries_;  // key -> rendered value
+};
+
+}  // namespace dvp::obs

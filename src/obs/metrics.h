@@ -1,0 +1,90 @@
+// Typed metrics registry: the replacement for scattered
+// CounterSet::Inc("free.form.key") call sites. A component resolves its
+// handles ONCE at construction — the hot path is then a single pointer
+// increment, with no string hashing and no map lookup — and the registry
+// renders a legacy CounterSet compatibility view so AggregateCounters(),
+// the chaos digest and every existing assertion keep their dotted names.
+//
+// Components that may run without a registry (unit-test rigs pass one; some
+// baselines do not) resolve against Nop(), a shared write-only sink, so the
+// increment stays branch-free instead of null-checking per event.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace dvp::obs {
+
+/// Monotone counter handle. Stable address for the registry's lifetime.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  uint64_t value_ = 0;
+};
+
+/// Last-value / high-water gauge handle.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  /// High-water update: keeps the maximum ever Set or NoteMax'd.
+  void NoteMax(int64_t v) { value_ = std::max(value_, v); }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  int64_t value_ = 0;
+};
+
+class JsonWriter;
+
+/// Register-or-get registry of typed counters, gauges and histograms keyed
+/// by the legacy dotted names. Handles are stable pointers (map nodes).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
+  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+
+  /// Convenience read of a counter's value (0 when never registered) — the
+  /// same contract CounterSet::Get had, so test assertions port verbatim.
+  uint64_t Get(const std::string& name) const;
+  /// Gauge read; 0 when never registered.
+  int64_t GetGauge(const std::string& name) const;
+
+  /// Legacy compatibility view: every counter that has counted something,
+  /// under its registered name. Zero-valued handles are skipped to match the
+  /// old behavior where a key existed only once incremented (digests and
+  /// dumps stay free of registration-order noise).
+  CounterSet AsCounterSet() const;
+
+  /// Dumps every counter, gauge and histogram into the shared JSON sink
+  /// (counters under `prefix + name`, histograms via SetHistogram).
+  void DumpJson(JsonWriter* out, const std::string& prefix = "") const;
+
+  /// Shared write-only sink for components constructed without a registry.
+  static Counter* Nop();
+  static Gauge* NopGauge();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Resolve helper: a handle from `m`, or the shared no-op sink.
+inline Counter* CounterIn(MetricsRegistry* m, const char* name) {
+  return m ? m->counter(name) : MetricsRegistry::Nop();
+}
+inline Gauge* GaugeIn(MetricsRegistry* m, const char* name) {
+  return m ? m->gauge(name) : MetricsRegistry::NopGauge();
+}
+
+}  // namespace dvp::obs

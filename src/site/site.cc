@@ -32,18 +32,19 @@ void Site::BuildVolatile() {
   store_ = std::make_unique<core::ValueStore>(catalog_);
   locks_ = std::make_unique<cc::LockManager>();
   transport_ = std::make_unique<net::Transport>(kernel_, network_, id_,
-                                                &counters_,
-                                                options_.transport);
+                                                &metrics_, options_.transport,
+                                                options_.trace);
   transport_->set_epoch(storage_->incarnation());
   transport_->set_deliver_fn([this](SiteId from, net::EnvelopePtr payload) {
     return OnEnvelope(from, std::move(payload));
   });
-  wal_ = std::make_unique<wal::GroupCommitLog>(kernel_, storage_, &counters_,
-                                               options_.group_commit);
+  wal_ = std::make_unique<wal::GroupCommitLog>(kernel_, storage_, &metrics_,
+                                               options_.group_commit,
+                                               options_.trace);
   bool stamp_on_accept = options_.txn.scheme == cc::CcScheme::kConc1;
   vm_ = std::make_unique<vm::VmManager>(
       id_, wal_.get(), store_.get(), locks_.get(), transport_.get(), &clock_,
-      &counters_, stamp_on_accept, options_.txn.accept_stamp);
+      &metrics_, stamp_on_accept, options_.txn.accept_stamp, options_.trace);
   // The transport's cumulative ack doubles as the Vm acceptance signal: it
   // fires when the peer has consumed the transfer even if every explicit
   // VmAckMsg was lost.
@@ -51,8 +52,8 @@ void Site::BuildVolatile() {
       [this](uint64_t token) { vm_->OnTransportAck(token); });
   txn_ = std::make_unique<txn::TxnManager>(
       id_, network_->num_sites(), kernel_, wal_.get(), store_.get(),
-      locks_.get(), vm_.get(), transport_.get(), &clock_, &counters_,
-      rng_.Fork(0xff00 + lifecycle_generation_), options_.txn);
+      locks_.get(), vm_.get(), transport_.get(), &clock_, &metrics_,
+      rng_.Fork(0xff00 + lifecycle_generation_), options_.txn, options_.trace);
 }
 
 void Site::Bootstrap(const std::map<ItemId, core::Value>& initial_fragments) {
@@ -78,7 +79,10 @@ void Site::Crash() {
   if (!up_) return;
   up_ = false;
   ++lifecycle_generation_;
-  counters_.Inc("site.crashes");
+  metrics_.counter("site.crashes")->Inc();
+  if (options_.trace) {
+    options_.trace->Instant(id_, obs::Track::kSite, "site.crash");
+  }
   // Pending transactions get their final verdict before the state dies.
   txn_->CrashAbortAll();
   transport_->Crash();
@@ -91,7 +95,7 @@ void Site::Crash() {
   // The batch buffer dies with the scheduler: records never covered by a
   // force were volatile, and the crash is the moment that shows.
   uint64_t dropped = storage_->DropUnforcedTail();
-  if (dropped > 0) counters_.Inc("wal.dropped_unforced", dropped);
+  if (dropped > 0) metrics_.counter("wal.dropped_unforced")->Inc(dropped);
 }
 
 void Site::Recover(
@@ -115,7 +119,7 @@ void Site::Recover(
       // The damaged suffix was never safely forced; drop it so future
       // appends (and future recoveries) see a clean log.
       storage_->Truncate(report.valid_prefix);
-      counters_.Inc("recovery.torn_tail");
+      metrics_.counter("recovery.torn_tail")->Inc();
     }
 
     // §7: stale local counters are safe; restore the watermark we have.
@@ -133,7 +137,11 @@ void Site::Recover(
     vm_->RestoreFromLog();
 
     up_ = true;
-    counters_.Inc("site.recoveries");
+    metrics_.counter("site.recoveries")->Inc();
+    if (options_.trace) {
+      options_.trace->Instant(id_, obs::Track::kSite, "site.recover", 0,
+                              "incarnation", storage_->incarnation());
+    }
     ArmCheckpointTimer();
     if (done) done(report);
   });
@@ -152,7 +160,10 @@ void Site::Checkpoint() {
   // leaves nothing to replay.
   storage_->Append(wal::LogRecord(wal::CheckpointRec{}));
   storage_->set_checkpoint_upto(storage_->log_size());
-  counters_.Inc("site.checkpoints");
+  metrics_.counter("site.checkpoints")->Inc();
+  if (options_.trace) {
+    options_.trace->Instant(id_, obs::Track::kSite, "site.checkpoint");
+  }
 }
 
 void Site::ArmCheckpointTimer() {
@@ -229,10 +240,10 @@ bool Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
   if (const auto* nack =
           dynamic_cast<const proto::CcNackMsg*>(payload.get())) {
     clock_.Observe(Timestamp::FromPacked(nack->ts_packed));
-    counters_.Inc("req.nack_received");
+    metrics_.counter("req.nack_received")->Inc();
     return true;
   }
-  counters_.Inc("msg.unknown");
+  metrics_.counter("msg.unknown")->Inc();
   return true;
 }
 

@@ -17,6 +17,8 @@
 #include "dvpcore/value_store.h"
 #include "net/network.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recovery/recovery.h"
 #include "sim/kernel.h"
 #include "txn/txn.h"
@@ -36,6 +38,10 @@ struct SiteOptions {
   SimTime checkpoint_interval_us = 0;
   /// Simulated redo cost per log-suffix record during recovery.
   SimTime recovery_us_per_record = 5;
+  /// Optional causal trace recorder shared by every component of the site
+  /// (and, via ClusterOptions.site, by the whole cluster). Null = tracing
+  /// off, which costs one pointer test per would-be event.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Site {
@@ -88,8 +94,13 @@ class Site {
   const core::Catalog& catalog() const { return *catalog_; }
   wal::StableStorage& storage() { return *storage_; }
   const wal::StableStorage& storage() const { return *storage_; }
-  CounterSet& counters() { return counters_; }
-  const CounterSet& counters() const { return counters_; }
+  /// Legacy compatibility view of the metrics registry (dotted names, only
+  /// counters that have counted). Returned by value: the registry is the
+  /// store, this is a rendering.
+  CounterSet counters() const { return metrics_.AsCounterSet(); }
+  /// The typed registry all of this site's components register with.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Live fragment value; requires the site to be up.
   core::Value LocalValue(ItemId item) const;
@@ -119,7 +130,7 @@ class Site {
   const core::Catalog* catalog_;
   Rng rng_;
   SiteOptions options_;
-  CounterSet counters_;
+  obs::MetricsRegistry metrics_;
   LamportClock clock_;
   bool up_ = false;
   bool recovering_ = false;

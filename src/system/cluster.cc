@@ -16,6 +16,9 @@ std::vector<core::Value> SplitEven(core::Value total, uint32_t n) {
 Cluster::Cluster(const core::Catalog* catalog, ClusterOptions options)
     : catalog_(catalog), options_(options), rng_(options.seed) {
   kernel_.EnablePerturbation(options_.perturb);
+  // Bind the shared trace recorder (if any) to this cluster's virtual clock
+  // so every component's events carry the simulation timestamp.
+  if (options_.site.trace) options_.site.trace->Attach(&kernel_);
   network_ = std::make_unique<net::Network>(&kernel_, options_.num_sites,
                                             options_.link, rng_.Fork(1));
   storages_.reserve(options_.num_sites);

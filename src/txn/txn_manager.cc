@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "dvpcore/operators.h"
+#include "obs/trace.h"
 
 namespace dvp::txn {
 
@@ -30,8 +31,8 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
                        wal::GroupCommitLog* log, core::ValueStore* store,
                        cc::LockManager* locks, vm::VmManager* vm,
                        net::Transport* transport, LamportClock* clock,
-                       CounterSet* counters, Rng rng,
-                       TxnManagerOptions options)
+                       obs::MetricsRegistry* metrics, Rng rng,
+                       TxnManagerOptions options, obs::TraceRecorder* trace)
     : self_(self),
       num_sites_(num_sites),
       kernel_(kernel),
@@ -41,17 +42,50 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
       vm_(vm),
       transport_(transport),
       clock_(clock),
-      counters_(counters),
+      trace_(trace),
       rng_(rng),
       options_(options),
-      policy_(options.scheme) {}
+      policy_(options.scheme),
+      m_req_sent_(obs::CounterIn(metrics, "req.sent")),
+      m_req_msgs_(obs::CounterIn(metrics, "req.msgs")),
+      m_req_received_(obs::CounterIn(metrics, "req.received")),
+      m_req_ignored_locked_(obs::CounterIn(metrics, "req.ignored.locked")),
+      m_req_ignored_cc_(obs::CounterIn(metrics, "req.ignored.cc")),
+      m_req_ignored_outstanding_(
+          obs::CounterIn(metrics, "req.ignored.outstanding")),
+      m_req_ignored_empty_(obs::CounterIn(metrics, "req.ignored.empty")),
+      m_req_honored_(obs::CounterIn(metrics, "req.honored")),
+      m_req_honored_read_(obs::CounterIn(metrics, "req.honored.read")),
+      m_req_prefetch_(obs::CounterIn(metrics, "req.prefetch")),
+      m_rds_send_value_(obs::CounterIn(metrics, "rds.send_value")) {
+  for (int o = 0; o <= static_cast<int>(TxnOutcome::kAbortInvalid); ++o) {
+    std::string name =
+        "txn." + std::string(TxnOutcomeName(static_cast<TxnOutcome>(o)));
+    m_outcome_[o] =
+        metrics ? metrics->counter(name) : obs::MetricsRegistry::Nop();
+  }
+}
+
+void TxnManager::NoteOutcome(TxnId id, TxnOutcome outcome) {
+  m_outcome_[static_cast<int>(outcome)]->Inc();
+  if (trace_) {
+    trace_->End(self_, obs::Track::kTxn, "txn", id.value(), "outcome",
+                static_cast<uint64_t>(outcome));
+  }
+}
 
 TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   Timestamp ts = clock_->Next();
   TxnId id(ts.packed());
+  // The packed Lamport timestamp is globally unique — it is the transaction's
+  // causal trace_id, carried by every message sent on its behalf.
+  if (trace_) {
+    trace_->Begin(self_, obs::Track::kTxn, "txn", id.value(), "ops",
+                  spec.ops.size());
+  }
 
   auto fail_fast = [&](TxnOutcome outcome, std::string why) {
-    counters_->Inc(std::string("txn.") + std::string(TxnOutcomeName(outcome)));
+    NoteOutcome(id, outcome);
     TxnResult r;
     r.id = id;
     r.outcome = outcome;
@@ -199,16 +233,21 @@ void TxnManager::SendRequests(PendingTxn& t,
   msg->origin = self_;
   msg->round = round;
   msg->parts = parts;
-  counters_->Inc("req.sent", parts.size());
+  msg->trace_id = t.id.value();
+  m_req_sent_->Inc(parts.size());
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kTxn, "txn.redistribute", t.id.value(),
+                    "round", round, "parts", parts.size());
+  }
 
   if (policy_.BroadcastRequests()) {
     // Conc2: all of a transaction's requests go out as one atomic broadcast.
-    counters_->Inc("req.msgs", num_sites_ - 1);
+    m_req_msgs_->Inc(num_sites_ - 1);
     transport_->Broadcast(std::move(msg));
     return;
   }
   std::vector<SiteId> targets = PickTargets();
-  counters_->Inc("req.msgs", targets.size());
+  m_req_msgs_->Inc(targets.size());
   if (options_.divide_shortfall && !targets.empty()) {
     auto divided = std::make_shared<proto::RequestMsg>(*msg);
     for (auto& part : divided->parts) {
@@ -229,13 +268,13 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
   Timestamp req_ts = Timestamp::FromPacked(msg.ts_packed);
 
   for (const proto::RequestPart& part : msg.parts) {
-    counters_->Inc("req.received");
+    m_req_received_->Inc();
     if (part.item.value() >= store_->num_items()) continue;
 
     // A locked fragment means some transaction (or in-progress Rds action)
     // owns it; the request is simply not honored (§5).
     if (locks_->IsLocked(part.item)) {
-      counters_->Inc("req.ignored.locked");
+      m_req_ignored_locked_->Inc();
       continue;
     }
     // Conc1 gate: TS(t) must dominate TS(d_j). Equality is the same
@@ -244,9 +283,10 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
     // clock-carrying NACK so a lagging origin catches up and can retry.
     if (policy_.scheme() == cc::CcScheme::kConc1 &&
         req_ts < store_->ts(part.item)) {
-      counters_->Inc("req.ignored.cc");
+      m_req_ignored_cc_->Inc();
       auto nack = std::make_shared<proto::CcNackMsg>();
       nack->from = self_;
+      nack->trace_id = msg.trace_id;
       // Carry whichever is larger: our clock or the stamp that beat the
       // request -- the origin must exceed the *stamp* on its retry.
       nack->ts_packed =
@@ -262,22 +302,22 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
       // §5: a read may be honored only when no Vm for the item is
       // outstanding here, so the reader provably drains the full multiset.
       if (vm_->HasOutstandingFor(part.item)) {
-        counters_->Inc("req.ignored.outstanding");
+        m_req_ignored_outstanding_->Inc();
         continue;
       }
       if (policy_.StampOnLock()) store_->SetTs(part.item, req_ts);
       vm_->CreateVm(msg.origin, part.item, frag.value, msg.txn,
                     /*is_read_reply=*/true, msg.round);
-      counters_->Inc("req.honored.read");
+      m_req_honored_read_->Inc();
     } else {
       core::Value ship = std::min(part.amount, domain.MaxShippable(frag.value));
       if (ship <= 0) {
-        counters_->Inc("req.ignored.empty");
+        m_req_ignored_empty_->Inc();
         continue;
       }
       if (policy_.StampOnLock()) store_->SetTs(part.item, req_ts);
       vm_->CreateVm(msg.origin, part.item, ship, msg.txn);
-      counters_->Inc("req.honored");
+      m_req_honored_->Inc();
     }
   }
 }
@@ -351,16 +391,17 @@ void TxnManager::SendReadRound(PendingTxn& t, ItemId item,
   msg->origin = self_;
   msg->round = rs.round;
   msg->parts = {{item, 0, true}};
-  counters_->Inc("req.sent");
+  msg->trace_id = t.id.value();
+  m_req_sent_->Inc();
   if (policy_.BroadcastRequests()) {
-    counters_->Inc("req.msgs", num_sites_ - 1);
+    m_req_msgs_->Inc(num_sites_ - 1);
     transport_->Broadcast(std::move(msg));
     return;
   }
   for (uint32_t s = 0; s < num_sites_; ++s) {
     if (s == self_.value()) continue;
     if (only_missing && rs.counters.contains(SiteId(s))) continue;
-    counters_->Inc("req.msgs");
+    m_req_msgs_->Inc();
     transport_->SendDatagram(SiteId(s), msg);
   }
 }
@@ -414,6 +455,10 @@ void TxnManager::Reevaluate(PendingTxn& t) {
 void TxnManager::ScheduleCommit(PendingTxn& t) {
   if (t.commit_scheduled) return;
   t.commit_scheduled = true;
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kTxn, "txn.compute", t.id.value(),
+                    "rounds", t.rounds);
+  }
   // The gather succeeded: the timeout counter is disarmed and the remaining
   // work is purely local (§5 step 4) — by construction it cannot block.
   t.timeout.Cancel();
@@ -463,6 +508,11 @@ void TxnManager::Commit(PendingTxn& t) {
     }
   }
 
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kTxn, "txn.force", t.id.value(),
+                    "writes", rec.writes.size());
+  }
+
   if (!log_->enabled()) {
     // Force-per-append path: the Append below is synchronous, so the commit
     // point passes before this function returns.
@@ -481,7 +531,7 @@ void TxnManager::Commit(PendingTxn& t) {
     t.timeout.Cancel();
     t.read_retry.Cancel();
 
-    counters_->Inc("txn.committed");
+    NoteOutcome(t.id, TxnOutcome::kCommitted);
     result.status = Status::OK();
     result.latency_us = kernel_->Now() - t.start_time;
     Finish(t, std::move(result));
@@ -514,7 +564,7 @@ void TxnManager::Commit(PendingTxn& t) {
                  if (it == pending_.end()) return;
                  PendingTxn& t = *it->second;
                  t.committed = true;
-                 counters_->Inc("txn.committed");
+                 NoteOutcome(id, TxnOutcome::kCommitted);
                  result.status = Status::OK();
                  result.latency_us = kernel_->Now() - t.start_time;
                  Finish(t, std::move(result));
@@ -530,7 +580,7 @@ void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
   locks_->ReleaseAll(t.id);
   t.timeout.Cancel();
   t.read_retry.Cancel();
-  counters_->Inc(std::string("txn.") + std::string(TxnOutcomeName(outcome)));
+  NoteOutcome(t.id, outcome);
 
   TxnResult result;
   result.id = t.id;
@@ -560,7 +610,8 @@ void TxnManager::Prefetch(ItemId item, core::Value amount) {
   msg->origin = self_;
   msg->round = 1;
   msg->parts = {{item, amount, false}};
-  counters_->Inc("req.prefetch");
+  msg->trace_id = ts.packed();
+  m_req_prefetch_->Inc();
   if (policy_.BroadcastRequests()) {
     transport_->Broadcast(std::move(msg));
   } else {
@@ -581,7 +632,7 @@ Status TxnManager::SendValue(SiteId dst, ItemId item, core::Value amount) {
     return Status::FailedPrecondition("fragment cannot cover the amount");
   }
   vm_->CreateVm(dst, item, amount, TxnId::Invalid());
-  counters_->Inc("rds.send_value");
+  m_rds_send_value_->Inc();
   return Status::OK();
 }
 
@@ -604,12 +655,11 @@ void TxnManager::CrashAbortAll() {
     if (t->committed) {
       result.outcome = TxnOutcome::kCommitted;
       result.status = Status::OK();
-      counters_->Inc("txn.committed");
     } else {
       result.outcome = TxnOutcome::kAbortSiteFailure;
       result.status = Status::Unavailable("site crashed");
-      counters_->Inc("txn.abort.site_failure");
     }
+    NoteOutcome(t->id, result.outcome);
     result.latency_us = kernel_->Now() - t->start_time;
     if (t->cb) t->cb(result);
   }

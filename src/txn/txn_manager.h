@@ -21,11 +21,16 @@
 #include "common/types.h"
 #include "dvpcore/value_store.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "proto/wire.h"
 #include "sim/kernel.h"
 #include "txn/txn.h"
 #include "vm/vm_manager.h"
 #include "wal/group_commit.h"
+
+namespace dvp::obs {
+class TraceRecorder;
+}
 
 namespace dvp::txn {
 
@@ -62,7 +67,8 @@ class TxnManager {
              wal::GroupCommitLog* log, core::ValueStore* store,
              cc::LockManager* locks, vm::VmManager* vm,
              net::Transport* transport, LamportClock* clock,
-             CounterSet* counters, Rng rng, TxnManagerOptions options);
+             obs::MetricsRegistry* metrics, Rng rng, TxnManagerOptions options,
+             obs::TraceRecorder* trace = nullptr);
 
   /// Submits a transaction at this site. The callback always fires exactly
   /// once (commit, abort, or site failure) — see CrashAbortAll.
@@ -149,6 +155,9 @@ class TxnManager {
   void SendReadRound(PendingTxn& t, ItemId item, bool only_missing);
   void ArmReadRetry(PendingTxn& t);
   std::vector<SiteId> PickTargets();
+  /// Counter for a final verdict (txn.committed / txn.abort.*), and the
+  /// closing edge of the transaction's trace span.
+  void NoteOutcome(TxnId id, TxnOutcome outcome);
 
   SiteId self_;
   uint32_t num_sites_;
@@ -159,11 +168,25 @@ class TxnManager {
   vm::VmManager* vm_;
   net::Transport* transport_;
   LamportClock* clock_;
-  CounterSet* counters_;
+  obs::TraceRecorder* trace_;
   Rng rng_;
   TxnManagerOptions options_;
   cc::CcPolicy policy_;
   uint32_t timeout_skew_permille_ = 1000;
+
+  /// Final-verdict counters indexed by TxnOutcome (txn.committed first).
+  obs::Counter* m_outcome_[6];
+  obs::Counter* m_req_sent_;
+  obs::Counter* m_req_msgs_;
+  obs::Counter* m_req_received_;
+  obs::Counter* m_req_ignored_locked_;
+  obs::Counter* m_req_ignored_cc_;
+  obs::Counter* m_req_ignored_outstanding_;
+  obs::Counter* m_req_ignored_empty_;
+  obs::Counter* m_req_honored_;
+  obs::Counter* m_req_honored_read_;
+  obs::Counter* m_req_prefetch_;
+  obs::Counter* m_rds_send_value_;
 
   std::map<TxnId, std::unique_ptr<PendingTxn>> pending_;
 };

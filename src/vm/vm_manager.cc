@@ -4,22 +4,31 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace dvp::vm {
 
 VmManager::VmManager(SiteId self, wal::GroupCommitLog* log,
                      core::ValueStore* store, cc::LockManager* locks,
                      net::Transport* transport, LamportClock* clock,
-                     CounterSet* counters, bool stamp_on_accept,
-                     cc::AcceptStampMode stamp_mode)
+                     obs::MetricsRegistry* metrics, bool stamp_on_accept,
+                     cc::AcceptStampMode stamp_mode, obs::TraceRecorder* trace)
     : self_(self),
       log_(log),
       store_(store),
       locks_(locks),
       transport_(transport),
       clock_(clock),
-      counters_(counters),
+      trace_(trace),
       stamp_on_accept_(stamp_on_accept),
-      stamp_mode_(stamp_mode) {}
+      stamp_mode_(stamp_mode),
+      m_created_(obs::CounterIn(metrics, "vm.created")),
+      m_accepted_(obs::CounterIn(metrics, "vm.accepted")),
+      m_duplicate_(obs::CounterIn(metrics, "vm.duplicate")),
+      m_deferred_locked_(obs::CounterIn(metrics, "vm.deferred_locked")),
+      m_acked_(obs::CounterIn(metrics, "vm.acked")),
+      m_closure_sent_(obs::CounterIn(metrics, "vm.closure_sent")),
+      m_accepted_pruned_(obs::CounterIn(metrics, "vm.accepted_pruned")) {}
 
 VmId VmManager::NextVmId() { return MakeVmId(self_, next_vm_counter_++); }
 
@@ -58,7 +67,7 @@ void VmManager::ObserveClosedBelow(SiteId src, uint64_t closed_below) {
   size_t pruned = static_cast<size_t>(std::distance(pa.counters.begin(), upto));
   pa.counters.erase(pa.counters.begin(), upto);
   pa.pruned_below = closed_below;
-  if (pruned > 0) counters_->Inc("vm.accepted_pruned", pruned);
+  if (pruned > 0) m_accepted_pruned_->Inc(pruned);
 }
 
 uint64_t VmManager::ClosedBelowFor(SiteId dst) const {
@@ -76,6 +85,11 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
   assert(store_->catalog().domain(item).ValidFragment(frag.value - amount));
 
   VmId id = NextVmId();
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kVm, "vm.born", TraceIdFor(id, for_txn),
+                    "vm", id.value(), "amount",
+                    static_cast<uint64_t>(amount));
+  }
 
   // §4.2: one forced record carrying both the database action and the
   // message sequence. The Vm exists from this instant.
@@ -100,7 +114,7 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
     // reader's round is itself a Vm, so counting them would bump the count
     // each round and no read could ever terminate.
     if (!is_read_reply) ++lifetime_creates_;
-    counters_->Inc("vm.created");
+    m_created_->Inc();
 
     SendTransfer(id, out);
     return id;
@@ -115,7 +129,7 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
   OutVm out{dst, item, amount, for_txn, is_read_reply, round};
   outbox_.emplace(id, out);
   if (!is_read_reply) ++lifetime_creates_;
-  counters_->Inc("vm.created");
+  m_created_->Inc();
   log_->Append(wal::LogRecord(rec), [this, id] {
     auto it = outbox_.find(id);
     if (it != outbox_.end()) SendTransfer(id, it->second);
@@ -136,14 +150,20 @@ void VmManager::SendTransfer(VmId id, const OutVm& out) {
   msg->accept_count = lifetime_accepts_;
   msg->create_count = lifetime_creates_;
   msg->closed_below = ClosedBelowFor(out.dst);
+  msg->trace_id = TraceIdFor(id, out.for_txn);
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kVm, "vm.sent", msg->trace_id, "vm",
+                    id.value(), "dst", out.dst.value());
+  }
   transport_->SendReliable(out.dst, id.value(), std::move(msg));
 }
 
-void VmManager::SendAck(VmId vm, SiteId to) {
+void VmManager::SendAck(VmId vm, SiteId to, uint64_t trace_id) {
   auto ack = std::make_shared<proto::VmAckMsg>();
   ack->vm = vm;
   ack->from = self_;
   ack->ts_packed = clock_->Next().packed();
+  ack->trace_id = trace_id;
   transport_->SendDatagram(to, std::move(ack));
 }
 
@@ -151,10 +171,14 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
                                 bool stamp_fresh) {
   clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
   if (AlreadyAccepted(msg.vm)) {
-    counters_->Inc("vm.duplicate");
+    m_duplicate_->Inc();
+    if (trace_) {
+      trace_->Instant(self_, obs::Track::kVm, "vm.duplicate", msg.trace_id,
+                      "vm", msg.vm.value());
+    }
     // No ack while the acceptance is still unforced: the covering force's
     // deferred SendAck will be the first (and only safe) one.
-    if (!IsUnforcedAccept(msg.vm)) SendAck(msg.vm, msg.src);
+    if (!IsUnforcedAccept(msg.vm)) SendAck(msg.vm, msg.src, msg.trace_id);
     return 0;
   }
   const core::Fragment& frag = store_->fragment(msg.item);
@@ -183,15 +207,21 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
   rec.write = wal::FragmentWrite{msg.item, frag.value + msg.amount,
                                  msg.amount, post_ts.packed()};
 
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kVm, "vm.accepted", msg.trace_id, "vm",
+                    msg.vm.value(), "amount",
+                    static_cast<uint64_t>(msg.amount));
+  }
+
   if (!log_->enabled()) {
     log_->Append(wal::LogRecord(rec));
 
     store_->SetValue(msg.item, frag.value + msg.amount);
     store_->SetTs(msg.item, post_ts);
     MarkAccepted(msg.vm);
-    counters_->Inc("vm.accepted");
+    m_accepted_->Inc();
 
-    SendAck(msg.vm, msg.src);
+    SendAck(msg.vm, msg.src, msg.trace_id);
     return msg.amount;
   }
 
@@ -203,13 +233,14 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
   store_->SetValue(msg.item, frag.value + msg.amount);
   store_->SetTs(msg.item, post_ts);
   MarkAccepted(msg.vm);
-  counters_->Inc("vm.accepted");
+  m_accepted_->Inc();
   unforced_accepts_.insert(msg.vm);
   VmId vm = msg.vm;
   SiteId src = msg.src;
-  log_->Append(wal::LogRecord(rec), [this, vm, src] {
+  uint64_t tid = msg.trace_id;
+  log_->Append(wal::LogRecord(rec), [this, vm, src, tid] {
     unforced_accepts_.erase(vm);
-    SendAck(vm, src);
+    SendAck(vm, src, tid);
   });
   return msg.amount;
 }
@@ -222,7 +253,11 @@ bool VmManager::AcceptOrIgnore(const proto::VmTransferMsg& msg) {
   if (locks_->IsLocked(msg.item)) {
     // Locked by an unrelated transaction: ignore; the transfer will be
     // retransmitted and accepted once the lock clears (§5).
-    counters_->Inc("vm.deferred_locked");
+    m_deferred_locked_->Inc();
+    if (trace_) {
+      trace_->Instant(self_, obs::Track::kVm, "vm.deferred", msg.trace_id,
+                      "vm", msg.vm.value(), "item", msg.item.value());
+    }
     return false;
   }
   DoAccept(msg, /*stamp_fresh=*/true);
@@ -235,21 +270,25 @@ core::Value VmManager::AcceptForTxn(const proto::VmTransferMsg& msg) {
 }
 
 void VmManager::ReAck(const proto::VmTransferMsg& msg) {
-  counters_->Inc("vm.duplicate");
-  SendAck(msg.vm, msg.src);
+  m_duplicate_->Inc();
+  SendAck(msg.vm, msg.src, msg.trace_id);
 }
 
 void VmManager::FinishAcked(VmId vm) {
   auto it = outbox_.find(vm);
   if (it == outbox_.end()) return;  // duplicate ack
   SiteId dst = it->second.dst;
+  if (trace_) {
+    trace_->Instant(self_, obs::Track::kVm, "vm.closed",
+                    TraceIdFor(vm, it->second.for_txn), "vm", vm.value());
+  }
   // The acked marker can ride the batch without a completion callback: it is
   // an optimization (stops retransmission across recoveries), and losing an
   // unforced one merely re-sends a transfer the receiver will ReAck.
   log_->Append(wal::LogRecord(wal::VmAckedRec{vm}));
   outbox_.erase(it);
   transport_->CancelReliable(vm.value());
-  counters_->Inc("vm.acked");
+  m_acked_->Inc();
   // Channel drained: no further transfer will carry the (now fully advanced)
   // watermark, so push it explicitly. Otherwise the recipient's dedup
   // entries for the final burst would linger until the channel's next use.
@@ -268,7 +307,7 @@ void VmManager::FinishAcked(VmId vm) {
     uint64_t token = kClosureTokenBase | next_closure_token_++;
     closure_tokens_[dst] = token;
     transport_->SendReliable(dst, token, std::move(closure));
-    counters_->Inc("vm.closure_sent");
+    m_closure_sent_->Inc();
   }
 }
 

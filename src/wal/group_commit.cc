@@ -2,16 +2,28 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dvp::wal {
 
 Lsn GroupCommitLog::Append(const LogRecord& record,
                            std::function<void()> on_durable) {
   if (!options_.enabled) {
     Lsn lsn = storage_->Append(record);
+    if (trace_) {
+      trace_->Instant(storage_->site(), obs::Track::kWal, "wal.append", 0,
+                      "lsn", lsn.value());
+      trace_->Instant(storage_->site(), obs::Track::kWal, "wal.force", 0,
+                      "records", 1);
+    }
     if (on_durable) on_durable();
     return lsn;
   }
   Lsn lsn = storage_->AppendBuffered(record);
+  if (trace_) {
+    trace_->Instant(storage_->site(), obs::Track::kWal, "wal.append", 0,
+                    "lsn", lsn.value());
+  }
   if (on_durable) callbacks_.push_back(std::move(on_durable));
   if (storage_->unforced_records() >= options_.max_records ||
       storage_->unforced_bytes() >= options_.max_bytes) {
@@ -25,9 +37,13 @@ Lsn GroupCommitLog::Append(const LogRecord& record,
 void GroupCommitLog::Flush() {
   if (storage_->unforced_records() == 0 && callbacks_.empty()) return;
   uint64_t n = storage_->ForceTail();
-  if (counters_ && n > 0) {
-    counters_->Inc("wal.group_forces");
-    counters_->Inc("wal.group_records", n);
+  if (n > 0) {
+    m_group_forces_->Inc();
+    m_group_records_->Inc(n);
+    if (trace_) {
+      trace_->Instant(storage_->site(), obs::Track::kWal, "wal.force", 0,
+                      "records", n);
+    }
   }
   // A synchronous StableStorage::Append interleaved with the batch forces
   // the whole tail, so by here every pending callback's record is durable —

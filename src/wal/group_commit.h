@@ -24,8 +24,13 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
 #include "wal/stable_storage.h"
+
+namespace dvp::obs {
+class TraceRecorder;
+}
 
 namespace dvp::wal {
 
@@ -43,11 +48,14 @@ struct GroupCommitOptions {
 class GroupCommitLog {
  public:
   GroupCommitLog(sim::Kernel* kernel, StableStorage* storage,
-                 CounterSet* counters, GroupCommitOptions options)
+                 obs::MetricsRegistry* metrics, GroupCommitOptions options,
+                 obs::TraceRecorder* trace = nullptr)
       : kernel_(kernel),
         storage_(storage),
-        counters_(counters),
+        trace_(trace),
         options_(options),
+        m_group_forces_(obs::CounterIn(metrics, "wal.group_forces")),
+        m_group_records_(obs::CounterIn(metrics, "wal.group_records")),
         alive_(std::make_shared<bool>(true)) {}
   ~GroupCommitLog() { *alive_ = false; }
   GroupCommitLog(const GroupCommitLog&) = delete;
@@ -76,8 +84,10 @@ class GroupCommitLog {
 
   sim::Kernel* kernel_;
   StableStorage* storage_;
-  CounterSet* counters_;
+  obs::TraceRecorder* trace_;
   GroupCommitOptions options_;
+  obs::Counter* m_group_forces_;
+  obs::Counter* m_group_records_;
   std::vector<std::function<void()>> callbacks_;
   bool timer_armed_ = false;
   std::shared_ptr<bool> alive_;

@@ -6,6 +6,7 @@
 
 #include "net/network.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
 
 namespace dvp::net {
@@ -275,7 +276,7 @@ class TransportTest : public ::testing::Test {
   sim::Kernel kernel_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<Transport> transport_[2];
-  CounterSet counters_[2];
+  obs::MetricsRegistry counters_[2];
   std::vector<int> received_[2];
   std::vector<uint64_t> wire_seqs_[2];  // reliable seqs seen on the wire
   std::vector<uint64_t> acked_[2];      // tokens completed by cumulative ack
@@ -530,7 +531,7 @@ TEST(TransportDeathTest, TokenCollisionFailsLoudly) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   sim::Kernel kernel;
   Network network(&kernel, 2, LinkParams::Synchronous(1000), Rng(6));
-  CounterSet counters;
+  obs::MetricsRegistry counters;
   Transport transport(&kernel, &network, SiteId(0), &counters,
                       Transport::Options{});
   transport.SendReliable(SiteId(1), 42, std::make_shared<TestMsg>(1));

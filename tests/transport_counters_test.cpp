@@ -12,6 +12,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
 
 namespace dvp {
@@ -27,7 +28,7 @@ struct TestPayload : net::Envelope {
 struct Pair {
   sim::Kernel kernel;
   net::Network network;
-  CounterSet c0, c1;
+  obs::MetricsRegistry c0, c1;
   net::Transport t0, t1;
   uint64_t delivered_at_1 = 0;
 

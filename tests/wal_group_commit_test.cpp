@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
 #include "wal/group_commit.h"
 #include "wal/record.h"
@@ -33,7 +34,7 @@ struct GroupCommitTest : ::testing::Test {
 
   sim::Kernel kernel;
   wal::StableStorage storage{SiteId(0)};
-  CounterSet counters;
+  obs::MetricsRegistry counters;
 };
 
 TEST_F(GroupCommitTest, DisabledModeIsForcePerAppend) {
