@@ -134,7 +134,7 @@ void Main() {
     opts.seed = 83;
     opts.site.txn.request_fanout = fanout;
     opts.site.txn.divide_shortfall = divide;
-    opts.site.txn.randomize_targets = true;
+    opts.site.txn.targeting = txn::TargetPolicy::kRandom;
     system::Cluster cluster(&catalog, opts);
     std::map<ItemId, std::vector<core::Value>> alloc;
     alloc[items[0]] = MakeSplit(SplitPolicy::kEven, 1.4);

@@ -99,7 +99,7 @@ std::string ChaosCase::ToLiteral() const {
          ", " + U64(w.loss_permille) + ", " + U64(w.dup_permille) + ", " +
          U64(w.group_commit_records) + ", " +
          std::to_string(w.group_commit_delay_us) + ", " + U64(w.coalesce) +
-         "}, ";
+         ", " + U64(w.surplus_hints) + ", " + U64(w.rebalance) + "}, ";
   out += plan.ToLiteral() + "}";
   return out;
 }
@@ -128,6 +128,19 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
     copts.site.group_commit.max_delay_us = w.group_commit_delay_us;
   }
   copts.site.transport.coalesce = w.coalesce != 0;
+  // Chaos defaults to randomized fan-out (first-k-by-id is a test-only mode
+  // that starves high-id sites); surplus_hints upgrades it to hint-directed
+  // targeting with gather-retry rounds inside the unchanged timeout budget.
+  copts.site.txn.targeting = w.surplus_hints != 0
+                                 ? txn::TargetPolicy::kSurplus
+                                 : txn::TargetPolicy::kRandom;
+  if (w.surplus_hints != 0) {
+    copts.site.placement.hints_per_frame = 4;
+    copts.site.txn.gather_retry_us = std::max<SimTime>(w.timeout_us / 3, 1);
+  }
+  if (w.rebalance != 0) {
+    copts.site.placement.rebalance = true;
+  }
   copts.site.trace = opts.trace;
   if (c.perturb_seed != 0) {
     copts.perturb.seed = c.perturb_seed;
@@ -436,6 +449,12 @@ ChaosCase MakeSwarmCase(uint64_t seed) {
     w.group_commit_delay_us = 200 + static_cast<SimTime>(rng.NextBounded(4801));
   }
   w.coalesce = rng.NextBool(0.5) ? 1 : 0;
+  // Half the swarm exercises the placement layer (hint-directed gathers and
+  // retry rounds), and half of that runs the rebalancer too — its pushes are
+  // ordinary Vm transfers, so the conservation and exactly-once oracles
+  // police them like any other traffic.
+  w.surplus_hints = rng.NextBool(0.5) ? 1 : 0;
+  w.rebalance = (w.surplus_hints != 0 && rng.NextBool(0.5)) ? 1 : 0;
   if (rng.NextBool(0.7)) {
     c.perturb_seed = seed * 31 + 7;
     c.max_jitter_us =

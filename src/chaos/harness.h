@@ -56,6 +56,11 @@ struct WorkloadSpec {
   SimTime group_commit_delay_us = 0;
   /// Transport frame coalescing (0/1).
   uint32_t coalesce = 0;
+  /// Placement layer: surplus-hint piggyback + surplus-directed targeting
+  /// with paced gather-retry rounds (0/1).
+  uint32_t surplus_hints = 0;
+  /// Background rebalancer (0/1; only meaningful with surplus_hints).
+  uint32_t rebalance = 0;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };

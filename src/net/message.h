@@ -48,6 +48,24 @@ struct SubMsg {
   EnvelopePtr payload;
 };
 
+/// One piggybacked fragment-placement advertisement: the sender's own view of
+/// one item at send time. Rides outgoing packets the same way the cumulative
+/// ack does (Transport::Options::max_frame_hints bounds how many per frame)
+/// and is purely advisory — a stale or lost hint costs extra messages, never
+/// correctness.
+struct PlacementHint {
+  ItemId item;
+  /// MaxShippable(local fragment) at send time: what the sender could grant a
+  /// redistribution request right now.
+  int64_t surplus = 0;
+  /// The sender's local-shortfall EWMA: how much value per recent history its
+  /// own transactions came up short (drives the background rebalancer).
+  int64_t demand = 0;
+  /// Sender virtual send time; receivers keep only the freshest per
+  /// (sender, item) so reordered frames cannot roll the cache backwards.
+  uint64_t stamp = 0;
+};
+
 /// A packet in flight.
 struct Packet {
   SiteId src;
@@ -81,6 +99,10 @@ struct Packet {
 
   /// Coalesced riders in send order; empty unless the sender coalesces.
   std::vector<SubMsg> extra;
+
+  /// Piggybacked placement advertisements (Transport::Options::
+  /// max_frame_hints); advisory channel state like the ack, not payload.
+  std::vector<PlacementHint> hints;
 };
 
 }  // namespace dvp::net

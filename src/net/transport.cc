@@ -72,6 +72,12 @@ void Transport::AttachAck(Packet* p) {
 }
 
 void Transport::SendOnWire(Packet&& p) {
+  if (hint_fn_ && options_.max_frame_hints > 0) {
+    p.hints = hint_fn_(p.dst);
+    if (p.hints.size() > options_.max_frame_hints) {
+      p.hints.resize(options_.max_frame_hints);
+    }
+  }
   p.trace_id = p.payload ? p.payload->trace_id : 0;
   if (trace_) {
     trace_->Instant(self_, obs::Track::kNet, "net.send", p.trace_id, "dst",
@@ -251,6 +257,11 @@ void Transport::OweAck(SiteId src) {
 }
 
 void Transport::OnPacket(const Packet& packet) {
+  // Hints first: a request riding this same frame should find the surplus
+  // cache already refreshed by its own carrier.
+  if (!packet.hints.empty() && hint_sink_) {
+    hint_sink_(packet.src, packet.hints);
+  }
   if (packet.has_ack) ProcessAck(packet.src, packet.ack_epoch, packet.ack_cum);
   if (packet.payload) {
     ProcessSub(packet.src, packet.epoch, packet.reliability,

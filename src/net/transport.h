@@ -80,6 +80,12 @@ class Transport {
     bool coalesce = false;
     /// Upper bound on messages per coalesced frame (primary + riders).
     uint32_t max_frame_msgs = 8;
+    /// Placement-hint piggyback: up to this many per-item surplus/demand
+    /// advertisements (PlacementHint) ride every outgoing packet — the same
+    /// free-rider trick as the cumulative ack. 0 disables the channel. The
+    /// hints themselves come from set_hint_fn (the placement layer); the
+    /// transport only bounds and carries them.
+    uint32_t max_frame_hints = 0;
   };
 
   Transport(sim::Kernel* kernel, Network* network, SiteId self,
@@ -121,6 +127,23 @@ class Transport {
   /// signal (the Vm layer logs the Vm's death on it).
   void set_ack_fn(std::function<void(uint64_t token)> fn) {
     ack_fn_ = std::move(fn);
+  }
+
+  /// Placement-hint source: called once per outgoing packet with the
+  /// destination, returns the advertisements to piggyback (already bounded by
+  /// the provider; the transport additionally truncates to max_frame_hints).
+  /// Hints are gathered at send time, so even a retransmission carries the
+  /// sender's freshest view.
+  void set_hint_fn(std::function<std::vector<PlacementHint>(SiteId dst)> fn) {
+    hint_fn_ = std::move(fn);
+  }
+
+  /// Placement-hint sink: invoked with (sender, hints) before the packet's
+  /// payload is delivered, so a request arriving on the same frame already
+  /// sees the refreshed surplus cache.
+  void set_hint_sink(
+      std::function<void(SiteId src, const std::vector<PlacementHint>&)> fn) {
+    hint_sink_ = std::move(fn);
   }
 
   /// Sender incarnation stamped on outgoing packets; the Site sets it from
@@ -226,6 +249,8 @@ class Transport {
   obs::Counter* m_coalesced_riders_;
   std::function<bool(SiteId, EnvelopePtr)> deliver_fn_;
   std::function<void(uint64_t)> ack_fn_;
+  std::function<std::vector<PlacementHint>(SiteId)> hint_fn_;
+  std::function<void(SiteId, const std::vector<PlacementHint>&)> hint_sink_;
 
   uint64_t epoch_ = 0;
   std::map<SiteId, PeerOut> out_;

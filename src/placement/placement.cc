@@ -1,0 +1,222 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+
+namespace dvp::placement {
+
+PlacementManager::PlacementManager(SiteId self, uint32_t num_sites,
+                                   sim::Kernel* kernel,
+                                   core::ValueStore* store,
+                                   obs::MetricsRegistry* metrics,
+                                   PlacementOptions options)
+    : self_(self),
+      num_sites_(num_sites),
+      kernel_(kernel),
+      store_(store),
+      options_(options),
+      m_hint_observed_(obs::CounterIn(metrics, "placement.hint.observed")),
+      m_hint_hit_(obs::CounterIn(metrics, "placement.hint.hit")),
+      m_hint_miss_(obs::CounterIn(metrics, "placement.hint.miss")),
+      m_hint_stale_(obs::CounterIn(metrics, "placement.hint.stale")),
+      m_hint_empty_(obs::CounterIn(metrics, "placement.hint.empty")),
+      m_rebalance_push_(obs::CounterIn(metrics, "placement.rebalance.push")),
+      m_rebalance_value_(obs::CounterIn(metrics, "placement.rebalance.value")),
+      cache_(num_sites, std::vector<CachedHint>(store->num_items())),
+      demand_(store->num_items()) {}
+
+PlacementManager::~PlacementManager() { *alive_ = false; }
+
+std::vector<net::PlacementHint> PlacementManager::AdvertsFor(SiteId dst) {
+  (void)dst;  // advertisements describe only the sender; same for every peer
+  std::vector<net::PlacementHint> out;
+  uint32_t n = store_->num_items();
+  if (n == 0 || options_.hints_per_frame == 0) return out;
+  uint64_t now = static_cast<uint64_t>(kernel_->Now());
+  for (uint32_t scanned = 0;
+       scanned < n && out.size() < options_.hints_per_frame; ++scanned) {
+    ItemId item((advert_cursor_ + scanned) % n);
+    const core::Domain& domain = store_->catalog().domain(item);
+    core::Value surplus = domain.MaxShippable(store_->value(item));
+    core::Value demand = LocalDemand(item);
+    if (surplus <= 0 && demand <= 0) continue;
+    out.push_back(net::PlacementHint{item, surplus, demand, now});
+  }
+  // Rotate so narrow frames still cover every item over a few packets.
+  advert_cursor_ = (advert_cursor_ + std::max<uint32_t>(
+                        1, static_cast<uint32_t>(out.size()))) % n;
+  return out;
+}
+
+void PlacementManager::OnHints(SiteId src,
+                               const std::vector<net::PlacementHint>& hints) {
+  if (src == self_ || src.value() >= num_sites_) return;
+  SimTime now = kernel_->Now();
+  for (const net::PlacementHint& h : hints) {
+    if (h.item.value() >= store_->num_items()) continue;
+    CachedHint& entry = cache_[src.value()][h.item.value()];
+    if (h.stamp < entry.stamp) continue;  // reordered frame: older view
+    entry.surplus = h.surplus;
+    entry.demand = h.demand;
+    entry.stamp = h.stamp;
+    entry.seen_at = now;
+    m_hint_observed_->Inc();
+  }
+}
+
+std::vector<PlacementManager::Target> PlacementManager::RankTargets(
+    ItemId item) {
+  std::vector<Target> out;
+  if (item.value() >= store_->num_items()) return out;
+  SimTime now = kernel_->Now();
+  for (uint32_t s = 0; s < num_sites_; ++s) {
+    if (s == self_.value()) continue;
+    const CachedHint& h = cache_[s][item.value()];
+    if (h.seen_at < 0) continue;
+    if (!Fresh(h, now)) {
+      m_hint_stale_->Inc();
+      continue;
+    }
+    if (h.surplus <= 0) continue;
+    out.push_back(Target{SiteId(s), h.surplus});
+  }
+  std::sort(out.begin(), out.end(), [](const Target& a, const Target& b) {
+    if (a.surplus != b.surplus) return a.surplus > b.surplus;
+    return a.site.value() < b.site.value();
+  });
+  (out.empty() ? m_hint_miss_ : m_hint_hit_)->Inc();
+  return out;
+}
+
+void PlacementManager::NoteShipped(SiteId src, ItemId item,
+                                   core::Value amount) {
+  if (src == self_ || src.value() >= num_sites_ ||
+      item.value() >= store_->num_items()) {
+    return;
+  }
+  CachedHint& entry = cache_[src.value()][item.value()];
+  if (entry.seen_at < 0) return;  // never advertised; nothing to correct
+  entry.surplus = std::max<core::Value>(0, entry.surplus - amount);
+  entry.seen_at = kernel_->Now();  // a shipment is fresh direct evidence
+}
+
+void PlacementManager::NoteEmpty(SiteId src, ItemId item) {
+  if (src == self_ || src.value() >= num_sites_ ||
+      item.value() >= store_->num_items()) {
+    return;
+  }
+  CachedHint& entry = cache_[src.value()][item.value()];
+  entry.surplus = 0;
+  entry.seen_at = kernel_->Now();
+  m_hint_empty_->Inc();
+}
+
+void PlacementManager::DecayInPlace(Demand& d, SimTime now) const {
+  if (d.level_q8 <= 0 || options_.demand_halflife_us <= 0) return;
+  int64_t halvings = (now - d.updated_at) / options_.demand_halflife_us;
+  if (halvings <= 0) return;
+  d.level_q8 = halvings >= 62 ? 0 : d.level_q8 >> halvings;
+  d.updated_at += halvings * options_.demand_halflife_us;
+}
+
+void PlacementManager::BumpDemand(ItemId item, core::Value amount) {
+  if (amount <= 0 || item.value() >= store_->num_items()) return;
+  Demand& d = demand_[item.value()];
+  DecayInPlace(d, kernel_->Now());
+  d.level_q8 += amount << 8;
+  if (d.level_q8 == amount << 8) d.updated_at = kernel_->Now();
+}
+
+void PlacementManager::NoteShortfall(ItemId item, core::Value amount) {
+  BumpDemand(item, amount);
+}
+
+void PlacementManager::NoteTimeout(ItemId item, core::Value remaining) {
+  // Double weight: a timeout means the gather failed outright, the strongest
+  // evidence that value must move here proactively.
+  BumpDemand(item, remaining * 2);
+}
+
+core::Value PlacementManager::LocalDemand(ItemId item) const {
+  if (item.value() >= store_->num_items()) return 0;
+  Demand d = demand_[item.value()];
+  DecayInPlace(d, kernel_->Now());
+  return static_cast<core::Value>(d.level_q8 >> 8);
+}
+
+void PlacementManager::Start() {
+  if (!options_.rebalance || options_.rebalance_interval_us <= 0) return;
+  ArmTick();
+}
+
+void PlacementManager::ArmTick() {
+  // Small per-site phase offset so the fleet's ticks interleave instead of
+  // all landing on the same instants (deterministic: no RNG draw).
+  SimTime delay = options_.rebalance_interval_us +
+                  static_cast<SimTime>(self_.value()) * 997;
+  kernel_->Schedule(delay, [this, alive = alive_]() {
+    if (!*alive) return;
+    Tick();
+    ArmTick();
+  });
+}
+
+void PlacementManager::Tick() {
+  if (!send_value_fn_) return;
+  uint32_t n = store_->num_items();
+  if (n == 0) return;
+  uint32_t pushes = 0;
+  uint32_t scanned = 0;
+  for (; scanned < n && pushes < options_.rebalance_max_pushes; ++scanned) {
+    ItemId item((rebalance_cursor_ + scanned) % n);
+    if (TryPush(item)) ++pushes;
+  }
+  rebalance_cursor_ = (rebalance_cursor_ + scanned) % n;
+}
+
+bool PlacementManager::TryPush(ItemId item) {
+  const core::Domain& domain = store_->catalog().domain(item);
+  core::Value local = store_->value(item);
+  core::Value shippable = domain.MaxShippable(local);
+  core::Value own_demand = LocalDemand(item);
+  // Never strip the fragment bare: keep the reserve slice and whatever our
+  // own decayed demand suggests we are about to need.
+  core::Value reserve =
+      local > 0 ? local * options_.rebalance_reserve_permille / 1000 : 0;
+  core::Value avail = shippable - std::max(reserve, own_demand);
+  if (avail <= 0) return false;
+
+  // Hottest fresh peer: largest unmet demand (advertised demand beyond what
+  // the peer already holds), strictly hotter than we are.
+  SimTime now = kernel_->Now();
+  SiteId best = SiteId::Invalid();
+  core::Value best_need = 0;
+  core::Value best_demand = 0;
+  for (uint32_t s = 0; s < num_sites_; ++s) {
+    if (s == self_.value()) continue;
+    const CachedHint& h = cache_[s][item.value()];
+    if (!Fresh(h, now)) continue;
+    if (h.demand < options_.rebalance_min_demand) continue;
+    if (h.demand <= own_demand) continue;
+    core::Value need = h.demand - h.surplus;
+    if (need > best_need) {
+      best = SiteId(s);
+      best_need = need;
+      best_demand = h.demand;
+    }
+  }
+  if (!best.valid() || best_need <= 0) return false;
+
+  core::Value amount =
+      std::min({avail, options_.rebalance_chunk, best_need});
+  if (amount <= 0) return false;
+  if (!send_value_fn_(best, item, amount).ok()) return false;
+  m_rebalance_push_->Inc();
+  m_rebalance_value_->Inc(static_cast<uint64_t>(amount));
+  // Served: damp the cached demand so the next tick waits for the peer to
+  // re-advertise instead of piling more pushes onto one stale reading.
+  CachedHint& entry = cache_[best.value()][item.value()];
+  entry.demand = std::max<core::Value>(0, best_demand - amount);
+  return true;
+}
+
+}  // namespace dvp::placement

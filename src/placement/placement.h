@@ -1,0 +1,184 @@
+// Demand-aware fragment placement: the layer that turns the paper's Rds
+// machinery (§6) into a policy that keeps value where transactions need it.
+//
+// Three cooperating pieces, all advisory — correctness never depends on any
+// of them (a wrong hint costs extra messages or a timeout abort, exactly what
+// the blind protocol already risks; every value move is an ordinary Vm):
+//
+//  * Surplus hints. Each site piggybacks bounded, freshness-stamped per-item
+//    advertisements of its own shippable surplus and local demand pressure on
+//    packets it already sends (Transport::Options::max_frame_hints — the same
+//    free-rider trick as the cumulative piggyback ack). Peers fold them into
+//    a SurplusMap cache.
+//  * Surplus-directed gather. TxnManager::SendRequests consults
+//    RankTargets(): fresh advertised surplus ranks the targets and the
+//    shortfall is split proportionally to what each can actually ship,
+//    falling back to randomized fan-out when hints are stale or absent.
+//    NACK/empty outcomes and observed shipments feed back into the cache so
+//    it self-corrects faster than the staleness horizon.
+//  * Background rebalancer. An EWMA of local shortfalls and timeout aborts
+//    tracks per-item demand; surplus sites issue paced SendValue pushes
+//    toward advertised demand hot spots so subsequent transactions there hit
+//    the write-only/locally-satisfiable fast path with zero redistribution
+//    messages.
+//
+// Everything is integer arithmetic on kernel time — no RNG streams, no
+// floating point — so chaos runs stay a pure function of seed and schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dvpcore/value_store.h"
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "sim/kernel.h"
+
+namespace dvp::placement {
+
+struct PlacementOptions {
+  /// Advertisements piggybacked per outgoing packet; 0 keeps the placement
+  /// layer entirely off the wire (seed behavior). The Site mirrors this into
+  /// Transport::Options::max_frame_hints.
+  uint32_t hints_per_frame = 0;
+  /// A cached hint older than this never directs a gather — the requester
+  /// falls back to blind fan-out rather than trust a stale view.
+  SimTime hint_staleness_us = 400'000;
+  /// Background rebalancer: paced Rds pushes from surplus toward demand.
+  bool rebalance = false;
+  SimTime rebalance_interval_us = 250'000;
+  /// Largest value moved by one push; pacing bounds how fast placement can
+  /// churn (a misprediction is cheap to undo).
+  core::Value rebalance_chunk = 16;
+  /// Pushes attempted per tick across all items.
+  uint32_t rebalance_max_pushes = 2;
+  /// Fraction of the local fragment (permille) always kept home, so a site
+  /// never strips itself bare chasing someone else's demand spike.
+  uint32_t rebalance_reserve_permille = 250;
+  /// A peer only counts as a hot spot above this decayed demand level.
+  core::Value rebalance_min_demand = 2;
+  /// Demand EWMA halving period (integer halvings of elapsed/halflife).
+  SimTime demand_halflife_us = 1'000'000;
+};
+
+/// Per-site placement state: the SurplusMap cache of peers' advertisements,
+/// the local demand EWMA, and the rebalance tick. Volatile — a crash loses
+/// it and the rebuilt site re-learns from the hint stream.
+class PlacementManager {
+ public:
+  /// One ranked gather target: a peer with fresh advertised surplus.
+  struct Target {
+    SiteId site;
+    core::Value surplus = 0;
+  };
+
+  PlacementManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+                   core::ValueStore* store, obs::MetricsRegistry* metrics,
+                   PlacementOptions options);
+  ~PlacementManager();
+
+  // ---- Advertiser side ----------------------------------------------------
+
+  /// Up to hints_per_frame advertisements for a packet to `dst`: own
+  /// shippable surplus + decayed demand per item, round-robin over items so
+  /// every item gets airtime even on narrow frames. Called by the transport
+  /// at send time, so even retransmissions carry the freshest view.
+  std::vector<net::PlacementHint> AdvertsFor(SiteId dst);
+
+  // ---- Cache side ---------------------------------------------------------
+
+  /// Folds a frame's piggybacked hints into the cache; a hint whose stamp is
+  /// older than the cached one is dropped (reordered frames must not roll the
+  /// cache backwards).
+  void OnHints(SiteId src, const std::vector<net::PlacementHint>& hints);
+
+  /// Peers with fresh positive advertised surplus for `item`, largest first
+  /// (ties broken by site id for determinism). Empty = no usable hints; the
+  /// caller falls back to blind fan-out.
+  std::vector<Target> RankTargets(ItemId item);
+
+  // ---- Feedback -----------------------------------------------------------
+
+  /// A peer shipped `amount` of `item` to us: its advertised surplus shrank
+  /// by at least that much, and the shipment is fresh direct evidence.
+  void NoteShipped(SiteId src, ItemId item, core::Value amount);
+  /// A peer answered a directed request with "nothing to ship".
+  void NoteEmpty(SiteId src, ItemId item);
+  /// A local transaction came up `amount` short on `item` (bumps demand).
+  void NoteShortfall(ItemId item, core::Value amount);
+  /// A local transaction timed out still `remaining` short — weighted double:
+  /// unresolved demand is the signal the rebalancer most needs to see.
+  void NoteTimeout(ItemId item, core::Value remaining);
+
+  /// Decayed local-demand EWMA for `item` (value units).
+  core::Value LocalDemand(ItemId item) const;
+
+  // ---- Rebalancer ---------------------------------------------------------
+
+  /// The Rds push primitive (TxnManager::SendValue); wired by the Site after
+  /// the transaction manager exists.
+  void set_send_value_fn(
+      std::function<Status(SiteId dst, ItemId item, core::Value amount)> fn) {
+    send_value_fn_ = std::move(fn);
+  }
+
+  /// Arms the rebalance tick when options().rebalance is set.
+  void Start();
+
+  const PlacementOptions& options() const { return options_; }
+
+ private:
+  struct CachedHint {
+    core::Value surplus = 0;
+    core::Value demand = 0;
+    uint64_t stamp = 0;    ///< sender send time; monotone per (src, item)
+    SimTime seen_at = -1;  ///< local receive time; -1 = never heard
+  };
+  /// Demand EWMA in Q8 fixed point, decayed lazily by whole halflives.
+  struct Demand {
+    int64_t level_q8 = 0;
+    SimTime updated_at = 0;
+  };
+
+  bool Fresh(const CachedHint& h, SimTime now) const {
+    return h.seen_at >= 0 && now - h.seen_at <= options_.hint_staleness_us;
+  }
+  void DecayInPlace(Demand& d, SimTime now) const;
+  void BumpDemand(ItemId item, core::Value amount);
+  void ArmTick();
+  void Tick();
+  /// One rebalance attempt for `item`; true if a push went out.
+  bool TryPush(ItemId item);
+
+  SiteId self_;
+  uint32_t num_sites_;
+  sim::Kernel* kernel_;
+  core::ValueStore* store_;
+  PlacementOptions options_;
+
+  obs::Counter* m_hint_observed_;
+  obs::Counter* m_hint_hit_;
+  obs::Counter* m_hint_miss_;
+  obs::Counter* m_hint_stale_;
+  obs::Counter* m_hint_empty_;
+  obs::Counter* m_rebalance_push_;
+  obs::Counter* m_rebalance_value_;
+
+  /// cache_[src][item]; the self row stays empty.
+  std::vector<std::vector<CachedHint>> cache_;
+  std::vector<Demand> demand_;
+  uint32_t advert_cursor_ = 0;
+  uint32_t rebalance_cursor_ = 0;
+
+  std::function<Status(SiteId, ItemId, core::Value)> send_value_fn_;
+  /// Tick lambdas capture this instead of trusting `this` to outlive them
+  /// (the Site destroys its PlacementManager on crash while the kernel queue
+  /// may still hold the tick event).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace dvp::placement

@@ -42,6 +42,9 @@ struct RequestMsg final : public net::Envelope {
   /// quiesces on the item (N_M = 0 in the paper's notation, §3).
   uint32_t round = 1;
   std::vector<RequestPart> parts;
+  /// Set by surplus-directed origins: a recipient that cannot ship anything
+  /// answers with a SurplusNackMsg so the origin's hint cache self-corrects.
+  bool want_surplus_nack = false;
 
   std::string_view Tag() const override { return "Request"; }
 };
@@ -118,6 +121,18 @@ struct CcNackMsg final : public net::Envelope {
   uint64_t ts_packed = 0;
 
   std::string_view Tag() const override { return "CcNack"; }
+};
+
+/// Courtesy "nothing to ship" reply to a surplus-directed shortfall request
+/// (RequestMsg::want_surplus_nack): the origin zeroes its cached surplus for
+/// (from, item) instead of waiting for the hint to age out. Datagram, purely
+/// advisory — losing it costs at most one more misdirected request.
+struct SurplusNackMsg final : public net::Envelope {
+  SiteId from;
+  ItemId item;
+  uint64_t ts_packed = 0;
+
+  std::string_view Tag() const override { return "SurplusNack"; }
 };
 
 }  // namespace dvp::proto

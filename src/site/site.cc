@@ -31,13 +31,28 @@ Site::~Site() = default;
 void Site::BuildVolatile() {
   store_ = std::make_unique<core::ValueStore>(catalog_);
   locks_ = std::make_unique<cc::LockManager>();
+  placement_ = std::make_unique<placement::PlacementManager>(
+      id_, network_->num_sites(), kernel_, store_.get(), &metrics_,
+      options_.placement);
+  net::Transport::Options topts = options_.transport;
+  if (options_.placement.hints_per_frame > 0) {
+    topts.max_frame_hints = options_.placement.hints_per_frame;
+  }
   transport_ = std::make_unique<net::Transport>(kernel_, network_, id_,
-                                                &metrics_, options_.transport,
+                                                &metrics_, topts,
                                                 options_.trace);
   transport_->set_epoch(storage_->incarnation());
   transport_->set_deliver_fn([this](SiteId from, net::EnvelopePtr payload) {
     return OnEnvelope(from, std::move(payload));
   });
+  if (options_.placement.hints_per_frame > 0) {
+    transport_->set_hint_fn(
+        [this](SiteId dst) { return placement_->AdvertsFor(dst); });
+    transport_->set_hint_sink(
+        [this](SiteId src, const std::vector<net::PlacementHint>& hints) {
+          placement_->OnHints(src, hints);
+        });
+  }
   wal_ = std::make_unique<wal::GroupCommitLog>(kernel_, storage_, &metrics_,
                                                options_.group_commit,
                                                options_.trace);
@@ -53,7 +68,15 @@ void Site::BuildVolatile() {
   txn_ = std::make_unique<txn::TxnManager>(
       id_, network_->num_sites(), kernel_, wal_.get(), store_.get(),
       locks_.get(), vm_.get(), transport_.get(), &clock_, &metrics_,
-      rng_.Fork(0xff00 + lifecycle_generation_), options_.txn, options_.trace);
+      rng_.Fork(0xff00 + lifecycle_generation_), options_.txn, options_.trace,
+      placement_.get());
+  // The rebalancer's pushes are ordinary Rds/Vm transfers through the
+  // transaction manager — conservation holds by construction.
+  placement_->set_send_value_fn(
+      [this](SiteId dst, ItemId item, core::Value amount) {
+        return txn_->SendValue(dst, item, amount);
+      });
+  placement_->Start();
 }
 
 void Site::Bootstrap(const std::map<ItemId, core::Value>& initial_fragments) {
@@ -90,6 +113,7 @@ void Site::Crash() {
   vm_.reset();
   wal_.reset();
   transport_.reset();
+  placement_.reset();
   locks_.reset();
   store_.reset();
   // The batch buffer dies with the scheduler: records never covered by a
@@ -241,6 +265,11 @@ bool Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
           dynamic_cast<const proto::CcNackMsg*>(payload.get())) {
     clock_.Observe(Timestamp::FromPacked(nack->ts_packed));
     metrics_.counter("req.nack_received")->Inc();
+    return true;
+  }
+  if (const auto* snack =
+          dynamic_cast<const proto::SurplusNackMsg*>(payload.get())) {
+    txn_->OnSurplusNack(from, *snack);
     return true;
   }
   metrics_.counter("msg.unknown")->Inc();

@@ -19,6 +19,7 @@
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "placement/placement.h"
 #include "recovery/recovery.h"
 #include "sim/kernel.h"
 #include "txn/txn.h"
@@ -32,6 +33,10 @@ namespace dvp::site {
 struct SiteOptions {
   txn::TxnManagerOptions txn;
   net::Transport::Options transport;
+  /// Demand-aware placement: surplus-hint piggyback + background rebalancer
+  /// (both off by default). hints_per_frame is mirrored into the transport's
+  /// max_frame_hints at build time.
+  placement::PlacementOptions placement;
   /// Group-commit force policy (off by default: force per append).
   wal::GroupCommitOptions group_commit;
   /// Automatic checkpoint period; 0 disables (manual Checkpoint() only).
@@ -110,6 +115,7 @@ class Site {
 
   core::ValueStore* store() { return store_.get(); }
   cc::LockManager* locks() { return locks_.get(); }
+  placement::PlacementManager* placement() { return placement_.get(); }
   vm::VmManager* vm() { return vm_.get(); }
   txn::TxnManager* txns() { return txn_.get(); }
   net::Transport* transport() { return transport_.get(); }
@@ -141,6 +147,7 @@ class Site {
   // the crash, and Crash() drops the matching unforced log tail.
   std::unique_ptr<core::ValueStore> store_;
   std::unique_ptr<cc::LockManager> locks_;
+  std::unique_ptr<placement::PlacementManager> placement_;
   std::unique_ptr<net::Transport> transport_;
   std::unique_ptr<wal::GroupCommitLog> wal_;
   std::unique_ptr<vm::VmManager> vm_;

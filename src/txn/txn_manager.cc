@@ -6,6 +6,7 @@
 
 #include "dvpcore/operators.h"
 #include "obs/trace.h"
+#include "placement/placement.h"
 
 namespace dvp::txn {
 
@@ -32,7 +33,8 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
                        cc::LockManager* locks, vm::VmManager* vm,
                        net::Transport* transport, LamportClock* clock,
                        obs::MetricsRegistry* metrics, Rng rng,
-                       TxnManagerOptions options, obs::TraceRecorder* trace)
+                       TxnManagerOptions options, obs::TraceRecorder* trace,
+                       placement::PlacementManager* placement)
     : self_(self),
       num_sites_(num_sites),
       kernel_(kernel),
@@ -43,6 +45,7 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
       transport_(transport),
       clock_(clock),
       trace_(trace),
+      placement_(placement),
       rng_(rng),
       options_(options),
       policy_(options.scheme),
@@ -57,7 +60,12 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
       m_req_honored_(obs::CounterIn(metrics, "req.honored")),
       m_req_honored_read_(obs::CounterIn(metrics, "req.honored.read")),
       m_req_prefetch_(obs::CounterIn(metrics, "req.prefetch")),
-      m_rds_send_value_(obs::CounterIn(metrics, "rds.send_value")) {
+      m_rds_send_value_(obs::CounterIn(metrics, "rds.send_value")),
+      m_local_commit_(obs::CounterIn(metrics, "txn.local_commit")),
+      m_gather_directed_(obs::CounterIn(metrics, "placement.gather.directed")),
+      m_gather_fallback_(obs::CounterIn(metrics, "placement.gather.fallback")),
+      m_surplus_nack_(obs::CounterIn(metrics, "req.surplus_nack")),
+      h_rounds_(metrics ? metrics->histogram("txn.rounds") : nullptr) {
   for (int o = 0; o <= static_cast<int>(TxnOutcome::kAbortInvalid); ++o) {
     std::string name =
         "txn." + std::string(TxnOutcomeName(static_cast<TxnOutcome>(o)));
@@ -72,6 +80,11 @@ void TxnManager::NoteOutcome(TxnId id, TxnOutcome outcome) {
     trace_->End(self_, obs::Track::kTxn, "txn", id.value(), "outcome",
                 static_cast<uint64_t>(outcome));
   }
+}
+
+void TxnManager::NoteCommitted(const PendingTxn& t) {
+  if (t.rounds == 0) m_local_commit_->Inc();
+  if (h_rounds_) h_rounds_->Add(static_cast<double>(t.rounds));
 }
 
 TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
@@ -151,6 +164,9 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
         if (out.insufficient()) {
           t->shortfall[op.item] = out.shortfall;
           parts.push_back({op.item, out.shortfall, false});
+          // Demand signal for the rebalancer: this site wanted more of the
+          // item than it held.
+          if (placement_) placement_->NoteShortfall(op.item, out.shortfall);
         }
         break;
       }
@@ -187,11 +203,19 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   SendRequests(ref, parts, /*round=*/1);
   ref.rounds = 1;
   ArmReadRetry(ref);
+  ArmGatherRetry(ref);
   TxnId timeout_id = id;
   SimTime timeout_us = options_.timeout_us * timeout_skew_permille_ / 1000;
   ref.timeout = kernel_->Schedule(timeout_us, [this, timeout_id]() {
     auto it = pending_.find(timeout_id);
     if (it == pending_.end()) return;
+    if (placement_) {
+      // The strongest demand signal: the gather failed outright while this
+      // much value was still missing.
+      for (const auto& [item, amount] : it->second->shortfall) {
+        placement_->NoteTimeout(item, amount);
+      }
+    }
     Abort(*it->second, TxnOutcome::kAbortTimeout, "redistribution timeout");
   });
   return id;
@@ -203,8 +227,11 @@ std::vector<SiteId> TxnManager::PickTargets() {
     if (s != self_.value()) all.push_back(SiteId(s));
   }
   uint32_t k = options_.request_fanout;
+  // kFirstK keeps the deterministic order (and with k < n starves high ids —
+  // test-only, see TargetPolicy); kSurplus randomizes its fallback pool.
+  bool randomize = options_.targeting != TargetPolicy::kFirstK;
   if (k == 0 || k >= all.size()) {
-    if (options_.randomize_targets && !all.empty()) {
+    if (randomize && !all.empty()) {
       // Fisher-Yates with our deterministic stream.
       for (size_t i = all.size() - 1; i > 0; --i) {
         std::swap(all[i], all[rng_.NextBounded(i + 1)]);
@@ -212,8 +239,8 @@ std::vector<SiteId> TxnManager::PickTargets() {
     }
     return all;
   }
-  // Choose k targets (random when requested, else the first k by id).
-  if (options_.randomize_targets) {
+  // Choose k targets (random unless first-k-by-id was asked for).
+  if (randomize) {
     for (size_t i = 0; i < k; ++i) {
       size_t j = i + rng_.NextBounded(all.size() - i);
       std::swap(all[i], all[j]);
@@ -227,39 +254,161 @@ void TxnManager::SendRequests(PendingTxn& t,
                               const std::vector<proto::RequestPart>& parts,
                               uint32_t round) {
   if (parts.empty()) return;
-  auto msg = std::make_shared<proto::RequestMsg>();
-  msg->txn = t.id;
-  msg->ts_packed = t.ts.packed();
-  msg->origin = self_;
-  msg->round = round;
-  msg->parts = parts;
-  msg->trace_id = t.id.value();
   m_req_sent_->Inc(parts.size());
   if (trace_) {
     trace_->Instant(self_, obs::Track::kTxn, "txn.redistribute", t.id.value(),
                     "round", round, "parts", parts.size());
   }
 
+  auto make_msg = [&]() {
+    auto msg = std::make_shared<proto::RequestMsg>();
+    msg->txn = t.id;
+    msg->ts_packed = t.ts.packed();
+    msg->origin = self_;
+    msg->round = round;
+    msg->trace_id = t.id.value();
+    return msg;
+  };
+
   if (policy_.BroadcastRequests()) {
     // Conc2: all of a transaction's requests go out as one atomic broadcast.
+    auto msg = make_msg();
+    msg->parts = parts;
     m_req_msgs_->Inc(num_sites_ - 1);
     transport_->Broadcast(std::move(msg));
     return;
   }
+
   std::vector<SiteId> targets = PickTargets();
-  m_req_msgs_->Inc(targets.size());
-  if (options_.divide_shortfall && !targets.empty()) {
-    auto divided = std::make_shared<proto::RequestMsg>(*msg);
-    for (auto& part : divided->parts) {
-      if (!part.read_all && part.amount > 0) {
-        part.amount = (part.amount + static_cast<core::Value>(targets.size()) -
-                       1) /
-                      static_cast<core::Value>(targets.size());
-      }
+  bool surplus_mode =
+      options_.targeting == TargetPolicy::kSurplus && placement_ != nullptr;
+
+  // Per-destination ask lists. Blind modes give every target the same list;
+  // surplus-directed mode slices each shortfall across the peers that
+  // advertised they can actually cover it.
+  std::map<SiteId, std::vector<proto::RequestPart>> per_dst;
+  for (const proto::RequestPart& part : parts) {
+    if (part.read_all || part.amount <= 0) {
+      for (SiteId dst : targets) per_dst[dst].push_back(part);
+      continue;
     }
-    msg = divided;
+
+    std::vector<placement::PlacementManager::Target> ranked;
+    if (surplus_mode) {
+      ranked = placement_->RankTargets(part.item);
+      if (options_.request_fanout > 0 &&
+          ranked.size() > options_.request_fanout) {
+        ranked.resize(options_.request_fanout);
+      }
+      // Minimal covering prefix: once the best-ranked targets' advertised
+      // surplus covers the need, asking anyone further down is pure message
+      // overhead (a 4-unit ask has no business reaching five sites). Each
+      // retry round widens the prefix by one: a target that refused or
+      // under-shipped the previous round must not stay the only one asked.
+      core::Value covered = 0;
+      size_t take = ranked.size();
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        covered += ranked[i].surplus;
+        if (covered >= part.amount) {
+          take = i + 1;
+          break;
+        }
+      }
+      take += round - 1;
+      if (take < ranked.size()) ranked.resize(take);
+    }
+
+    if (!ranked.empty()) {
+      m_gather_directed_->Inc();
+      core::Value need = part.amount;
+      core::Value total = 0;
+      for (const auto& tg : ranked) total += tg.surplus;
+      std::vector<core::Value> ask(ranked.size(), 0);
+      if (total <= need) {
+        // Hints under-cover the shortfall: take everything advertised and
+        // spread the residual blindly over the non-ranked fallback targets
+        // (hints may simply be incomplete).
+        for (size_t i = 0; i < ranked.size(); ++i) ask[i] = ranked[i].surplus;
+        core::Value residual = need - total;
+        if (residual > 0) {
+          std::vector<SiteId> rest;
+          for (SiteId dst : targets) {
+            bool is_ranked = false;
+            for (const auto& tg : ranked) {
+              if (tg.site == dst) is_ranked = true;
+            }
+            if (!is_ranked) rest.push_back(dst);
+          }
+          if (rest.empty()) {
+            ask[0] += residual;  // nobody left to ask; over-ask the best
+          } else {
+            core::Value base = residual / static_cast<core::Value>(rest.size());
+            core::Value rem = residual % static_cast<core::Value>(rest.size());
+            for (size_t i = 0; i < rest.size(); ++i) {
+              core::Value amt = base + (static_cast<core::Value>(i) < rem);
+              if (amt > 0) per_dst[rest[i]].push_back({part.item, amt, false});
+            }
+          }
+        }
+      } else {
+        // Proportional to advertised surplus, exact sum, each ask capped at
+        // the target's surplus (floor shares first, then the remainder one
+        // target at a time in rank order — total > need guarantees it fits).
+        core::Value assigned = 0;
+        for (size_t i = 0; i < ranked.size(); ++i) {
+          ask[i] = need * ranked[i].surplus / total;
+          assigned += ask[i];
+        }
+        core::Value rem = need - assigned;
+        for (size_t i = 0; i < ranked.size() && rem > 0; ++i) {
+          core::Value add = std::min(rem, ranked[i].surplus - ask[i]);
+          ask[i] += add;
+          rem -= add;
+        }
+      }
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        if (ask[i] > 0) {
+          per_dst[ranked[i].site].push_back({part.item, ask[i], false});
+        }
+      }
+      continue;
+    }
+
+    if (surplus_mode) m_gather_fallback_->Inc();
+    if (options_.divide_shortfall && !targets.empty()) {
+      // Exact split: amounts sum to the shortfall. Ceil division here used
+      // to over-gather up to k-1 units per round.
+      core::Value base = part.amount / static_cast<core::Value>(targets.size());
+      core::Value rem = part.amount % static_cast<core::Value>(targets.size());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        core::Value amt = base + (static_cast<core::Value>(i) < rem);
+        if (amt > 0) per_dst[targets[i]].push_back({part.item, amt, false});
+      }
+    } else {
+      for (SiteId dst : targets) per_dst[dst].push_back(part);
+    }
   }
-  for (SiteId dst : targets) transport_->SendDatagram(dst, msg);
+
+  // Send in PickTargets order (preserves the pre-placement event schedule in
+  // blind modes), then any directed targets outside the fallback pool in id
+  // order.
+  std::vector<SiteId> order;
+  for (SiteId dst : targets) {
+    if (per_dst.contains(dst)) order.push_back(dst);
+  }
+  for (const auto& [dst, dst_parts] : per_dst) {
+    (void)dst_parts;
+    if (std::find(order.begin(), order.end(), dst) == order.end()) {
+      order.push_back(dst);
+    }
+  }
+  for (SiteId dst : order) {
+    auto msg = make_msg();
+    msg->parts = std::move(per_dst[dst]);
+    msg->want_surplus_nack = surplus_mode;
+    m_req_msgs_->Inc();
+    transport_->SendDatagram(dst, std::move(msg));
+  }
 }
 
 void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
@@ -313,6 +462,16 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
       core::Value ship = std::min(part.amount, domain.MaxShippable(frag.value));
       if (ship <= 0) {
         m_req_ignored_empty_->Inc();
+        if (msg.want_surplus_nack) {
+          // Tell the surplus-directed origin its hint was wrong so its cache
+          // self-corrects now rather than when the hint ages out.
+          auto nack = std::make_shared<proto::SurplusNackMsg>();
+          nack->from = self_;
+          nack->item = part.item;
+          nack->ts_packed = clock_->Peek().packed();
+          nack->trace_id = msg.trace_id;
+          transport_->SendDatagram(msg.origin, std::move(nack));
+        }
         continue;
       }
       if (policy_.StampOnLock()) store_->SetTs(part.item, req_ts);
@@ -320,6 +479,12 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
       m_req_honored_->Inc();
     }
   }
+}
+
+void TxnManager::OnSurplusNack(SiteId from, const proto::SurplusNackMsg& msg) {
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  m_surplus_nack_->Inc();
+  if (placement_) placement_->NoteEmpty(from, msg.item);
 }
 
 bool TxnManager::RouteVmTransfer(SiteId from, const proto::VmTransferMsg& msg) {
@@ -338,6 +503,11 @@ bool TxnManager::RouteVmTransfer(SiteId from, const proto::VmTransferMsg& msg) {
   // unlocked Rds path after this transaction ends.
   if (msg.for_txn != t.id) return false;
   vm_->AcceptForTxn(msg);
+  if (placement_ && !msg.is_read_reply) {
+    // The granting site's advertised surplus shrank by at least the shipped
+    // amount; correct the cache without waiting for its next hint.
+    placement_->NoteShipped(msg.src, msg.item, msg.amount);
+  }
   if (msg.is_read_reply && msg.for_txn == t.id) {
     HandleReadReply(t, msg);
     // HandleReadReply may have committed/aborted; don't touch `t` after
@@ -425,6 +595,37 @@ void TxnManager::ArmReadRetry(PendingTxn& t) {
   });
 }
 
+void TxnManager::ArmGatherRetry(PendingTxn& t) {
+  if (options_.gather_retry_us <= 0 || t.shortfall.empty()) return;
+  TxnId id = t.id;
+  t.gather_retry = kernel_->Schedule(options_.gather_retry_us, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingTxn& t = *it->second;
+    if (t.commit_scheduled || t.shortfall.empty()) return;
+    // A CC-refused round is not a death sentence: the CcNack bumped this
+    // site's clock past the refusing fragment's stamp, so re-issue the
+    // still-missing asks under a fresh timestamp. Sound for the Conc1 gate —
+    // the local locks were granted under an older ts and raising it
+    // preserves every MayLock comparison; the commit record stamps fragments
+    // with the final (freshest) ts.
+    t.ts = clock_->Next();
+    if (policy_.StampOnLock()) {
+      for (ItemId item : t.items) store_->SetTs(item, t.ts);
+    }
+    // Re-request only what is still missing, against freshly ranked (or
+    // freshly drawn) targets — the previous round's grants and NACK feedback
+    // have already reshaped the ask.
+    std::vector<proto::RequestPart> parts;
+    for (const auto& [item, amount] : t.shortfall) {
+      parts.push_back({item, amount, false});
+    }
+    ++t.rounds;
+    SendRequests(t, parts, t.rounds);
+    ArmGatherRetry(t);
+  });
+}
+
 void TxnManager::Reevaluate(PendingTxn& t) {
   // Re-check decrement shortfalls against the (possibly grown) fragments.
   for (auto it = t.shortfall.begin(); it != t.shortfall.end();) {
@@ -463,6 +664,7 @@ void TxnManager::ScheduleCommit(PendingTxn& t) {
   // work is purely local (§5 step 4) — by construction it cannot block.
   t.timeout.Cancel();
   t.read_retry.Cancel();
+  t.gather_retry.Cancel();
   if (options_.local_compute_us <= 0) {
     Commit(t);
     return;
@@ -530,8 +732,10 @@ void TxnManager::Commit(PendingTxn& t) {
     locks_->ReleaseAll(t.id);
     t.timeout.Cancel();
     t.read_retry.Cancel();
+    t.gather_retry.Cancel();
 
     NoteOutcome(t.id, TxnOutcome::kCommitted);
+    NoteCommitted(t);
     result.status = Status::OK();
     result.latency_us = kernel_->Now() - t.start_time;
     Finish(t, std::move(result));
@@ -556,6 +760,7 @@ void TxnManager::Commit(PendingTxn& t) {
   locks_->ReleaseAll(id);
   t.timeout.Cancel();
   t.read_retry.Cancel();
+  t.gather_retry.Cancel();
   // `t` may die inside the first Append below (a full batch flushes inline,
   // running the completion callback) — no member of `t` is touched after it.
   log_->Append(wal::LogRecord(rec),
@@ -565,6 +770,7 @@ void TxnManager::Commit(PendingTxn& t) {
                  PendingTxn& t = *it->second;
                  t.committed = true;
                  NoteOutcome(id, TxnOutcome::kCommitted);
+                 NoteCommitted(t);
                  result.status = Status::OK();
                  result.latency_us = kernel_->Now() - t.start_time;
                  Finish(t, std::move(result));
@@ -580,6 +786,7 @@ void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
   locks_->ReleaseAll(t.id);
   t.timeout.Cancel();
   t.read_retry.Cancel();
+  t.gather_retry.Cancel();
   NoteOutcome(t.id, outcome);
 
   TxnResult result;
@@ -650,11 +857,13 @@ void TxnManager::CrashAbortAll() {
   for (auto& t : doomed) {
     t->timeout.Cancel();
     t->read_retry.Cancel();
+    t->gather_retry.Cancel();
     TxnResult result;
     result.id = t->id;
     if (t->committed) {
       result.outcome = TxnOutcome::kCommitted;
       result.status = Status::OK();
+      NoteCommitted(*t);
     } else {
       result.outcome = TxnOutcome::kAbortSiteFailure;
       result.status = Status::Unavailable("site crashed");

@@ -32,7 +32,25 @@ namespace dvp::obs {
 class TraceRecorder;
 }
 
+namespace dvp::placement {
+class PlacementManager;
+}
+
 namespace dvp::txn {
+
+/// How shortfall-request fan-out targets are chosen.
+enum class TargetPolicy : uint8_t {
+  /// First k sites by id. Deterministic and reproducible, but with a fanout
+  /// below the cluster size it permanently starves high-id sites — test-only;
+  /// benches and chaos default to kRandom or kSurplus.
+  kFirstK,
+  /// Fisher-Yates randomized fan-out (the livelock mitigation of §8).
+  kRandom,
+  /// Surplus-hint-directed: rank targets by fresh advertised surplus and
+  /// split the shortfall proportionally to what each can ship; falls back to
+  /// kRandom whenever no fresh hints exist for the item.
+  kSurplus,
+};
 
 struct TxnManagerOptions {
   /// §5 step 3: redistribution replies must arrive within this window or the
@@ -48,10 +66,16 @@ struct TxnManagerOptions {
   uint32_t request_fanout = 0;
   /// When true, the shortfall is divided across the fan-out targets instead
   /// of asking each for the full amount (less over-shipping, more aborts
-  /// when one target cannot contribute its share).
+  /// when one target cannot contribute its share). The split is exact: the
+  /// amounts sum to the shortfall (base share everywhere, remainder spread
+  /// one unit at a time), never the up-to-k-1 over-ask of ceil division.
   bool divide_shortfall = false;
-  /// Randomises fan-out target choice (livelock mitigation knob, §8).
-  bool randomize_targets = false;
+  /// Fan-out target selection policy; see TargetPolicy.
+  TargetPolicy targeting = TargetPolicy::kFirstK;
+  /// Paced re-request rounds for a gather still short after the first round:
+  /// every interval the *remaining* shortfall is re-sent to freshly chosen
+  /// targets until the timeout decides. 0 = single round (seed behavior).
+  SimTime gather_retry_us = 0;
   /// Simulated local computation between "all values gathered" and the
   /// commit-record force (§5 step 4→5). Locks stay held, so this is the
   /// window in which contention is visible (0 = instantaneous commit).
@@ -68,7 +92,8 @@ class TxnManager {
              cc::LockManager* locks, vm::VmManager* vm,
              net::Transport* transport, LamportClock* clock,
              obs::MetricsRegistry* metrics, Rng rng, TxnManagerOptions options,
-             obs::TraceRecorder* trace = nullptr);
+             obs::TraceRecorder* trace = nullptr,
+             placement::PlacementManager* placement = nullptr);
 
   /// Submits a transaction at this site. The callback always fires exactly
   /// once (commit, abort, or site failure) — see CrashAbortAll.
@@ -77,6 +102,10 @@ class TxnManager {
   /// Handles a request from another site's transaction (or this site's —
   /// i = j is legal in the paper and arises in single-site clusters).
   void OnRequest(SiteId from, const proto::RequestMsg& msg);
+
+  /// "Nothing to ship" feedback for a surplus-directed request: zeroes the
+  /// placement cache entry for (from, item) so the next gather redirects.
+  void OnSurplusNack(SiteId from, const proto::SurplusNackMsg& msg);
 
   /// Routes an incoming Vm transfer. Returns true if a pending transaction
   /// holding the item's lock absorbed it; otherwise the caller should fall
@@ -136,6 +165,7 @@ class TxnManager {
     std::map<ItemId, ReadState> reads;
     sim::EventHandle timeout;
     sim::EventHandle read_retry;
+    sim::EventHandle gather_retry;
     TxnCallback cb;
     SimTime start_time = 0;
     uint32_t rounds = 0;
@@ -154,10 +184,15 @@ class TxnManager {
   void HandleReadReply(PendingTxn& t, const proto::VmTransferMsg& msg);
   void SendReadRound(PendingTxn& t, ItemId item, bool only_missing);
   void ArmReadRetry(PendingTxn& t);
+  void ArmGatherRetry(PendingTxn& t);
   std::vector<SiteId> PickTargets();
   /// Counter for a final verdict (txn.committed / txn.abort.*), and the
   /// closing edge of the transaction's trace span.
   void NoteOutcome(TxnId id, TxnOutcome outcome);
+  /// Commit-side placement metrics: the local-commit counter (zero gather
+  /// rounds — the fast path the rebalancer works to hit) and the rounds
+  /// histogram.
+  void NoteCommitted(const PendingTxn& t);
 
   SiteId self_;
   uint32_t num_sites_;
@@ -169,6 +204,7 @@ class TxnManager {
   net::Transport* transport_;
   LamportClock* clock_;
   obs::TraceRecorder* trace_;
+  placement::PlacementManager* placement_;
   Rng rng_;
   TxnManagerOptions options_;
   cc::CcPolicy policy_;
@@ -187,6 +223,12 @@ class TxnManager {
   obs::Counter* m_req_honored_read_;
   obs::Counter* m_req_prefetch_;
   obs::Counter* m_rds_send_value_;
+  obs::Counter* m_local_commit_;
+  obs::Counter* m_gather_directed_;
+  obs::Counter* m_gather_fallback_;
+  obs::Counter* m_surplus_nack_;
+  /// Gather rounds per committed transaction; null without a registry.
+  Histogram* h_rounds_ = nullptr;
 
   std::map<TxnId, std::unique_ptr<PendingTxn>> pending_;
 };
