@@ -102,8 +102,15 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
     : n_(n), theta_(theta) {
   assert(n > 0);
   assert(theta >= 0);
+  if (n == 0) n_ = n = 1;        // release-build guard: degenerate sampler
+  if (theta < 0) theta_ = theta = 0;
   if (theta == 0.0) return;  // uniform fast path
-  if (n <= kExactLimit) {
+  // The Gray et al. approximation diverges at theta >= 1 (its alpha =
+  // 1/(1-theta) term), so that regime takes the exact inverse-CDF path at
+  // ANY n. This used to be an assert — NDEBUG builds computed inf/negative
+  // alpha and Next() returned garbage indices. The exact table costs O(n)
+  // doubles once at construction, which is the price of correctness.
+  if (n <= kExactLimit || theta >= 1.0) {
     cdf_.resize(n);
     double acc = 0;
     for (uint64_t i = 0; i < n; ++i) {
@@ -113,7 +120,6 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
     for (double& c : cdf_) c /= acc;
     return;
   }
-  assert(theta < 1.0 && "Gray approximation requires theta < 1 for large n");
   zetan_ = Zeta(n, theta);
   double zeta2 = Zeta(2, theta);
   alpha_ = 1.0 / (1.0 - theta);
@@ -137,9 +143,18 @@ uint64_t ZipfGenerator::Next(Rng& rng) {
 }
 
 size_t SampleWeighted(Rng& rng, const std::vector<double>& weights) {
+  assert(!weights.empty());
+  if (weights.empty()) return 0;  // release-build guard: caller bug
   double total = 0;
   for (double w : weights) total += w;
-  assert(total > 0);
+  // A mass-less (all-zero, or non-finite) weight vector used to hit an
+  // assert that vanished under NDEBUG, silently returning the LAST index —
+  // a biased, wrong answer. With no mass to be proportional to, uniform is
+  // the only unbiased interpretation; the stream still advances so callers
+  // stay deterministic whether or not the degenerate case fires.
+  if (!(total > 0) || !std::isfinite(total)) {
+    return static_cast<size_t>(rng.NextBounded(weights.size()));
+  }
   double r = rng.NextDouble() * total;
   double acc = 0;
   for (size_t i = 0; i < weights.size(); ++i) {

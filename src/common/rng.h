@@ -58,10 +58,12 @@ class Rng {
 };
 
 /// Zipf(θ) sampler over {0, ..., n-1}: P(k) ∝ 1/(k+1)^θ. theta = 0 is
-/// uniform; larger theta skews mass toward small ranks. For small n an exact
-/// inverse-CDF table is used (valid for any θ ≥ 0, including θ ≥ 1 where the
-/// classic Gray et al. approximation breaks down); large n with θ < 1 uses
-/// the approximation.
+/// uniform; larger theta skews mass toward small ranks. An exact inverse-CDF
+/// table is used for small n AND for every θ ≥ 1 (where the classic Gray et
+/// al. approximation diverges — its 1/(1-θ) exponent; that regime used to be
+/// guarded by an assert only, so NDEBUG builds sampled garbage). Large n
+/// with θ < 1 uses the approximation; the exact table there would cost O(n)
+/// memory per generator for no accuracy the approximation lacks.
 class ZipfGenerator {
  public:
   ZipfGenerator(uint64_t n, double theta);
@@ -85,7 +87,10 @@ class ZipfGenerator {
 };
 
 /// Samples an index from non-negative weights (linear scan; used for small
-/// site-selection distributions).
+/// site-selection distributions). A weight vector with no usable mass
+/// (all-zero or non-finite total) falls back to a uniform draw over all
+/// indices — never the silently-biased last index. `weights` must be
+/// nonempty (debug assert; release returns 0).
 size_t SampleWeighted(Rng& rng, const std::vector<double>& weights);
 
 }  // namespace dvp

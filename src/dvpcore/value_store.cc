@@ -2,16 +2,8 @@
 
 namespace dvp::core {
 
-ValueStore::ValueStore(const Catalog* catalog) : catalog_(catalog) {
-  fragments_.resize(catalog->num_items());
-  for (uint32_t i = 0; i < fragments_.size(); ++i) {
-    fragments_[i].value = catalog->domain(ItemId(i)).Identity();
-    fragments_[i].ts = Timestamp::Zero();
-  }
-}
-
-void ValueStore::Install(ItemId item, Value value, Timestamp ts) {
-  fragments_[item.value()] = Fragment{value, ts};
-}
+// Returned (by const ref) for out-of-catalog lookups in release builds; a
+// zero fragment with a zero timestamp is inert for every caller.
+const Fragment ValueStore::kOutOfCatalog{};
 
 }  // namespace dvp::core

@@ -1,0 +1,51 @@
+#include "net/message.h"
+
+namespace dvp::net {
+
+namespace {
+
+/// Upstream of the envelope pool: counts every block the pool actually pulls
+/// from the heap, so the envelopes/upstream ratio in EnvelopePoolStats shows
+/// how much recycling the pool achieves.
+class CountingUpstream final : public std::pmr::memory_resource {
+ public:
+  EnvelopePoolStats stats;
+
+ private:
+  void* do_allocate(size_t bytes, size_t alignment) override {
+    ++stats.upstream_allocations;
+    stats.upstream_bytes += bytes;
+    return std::pmr::new_delete_resource()->allocate(bytes, alignment);
+  }
+  void do_deallocate(void* p, size_t bytes, size_t alignment) override {
+    std::pmr::new_delete_resource()->deallocate(p, bytes, alignment);
+  }
+  bool do_is_equal(const std::pmr::memory_resource& other) const
+      noexcept override {
+    return this == &other;
+  }
+};
+
+CountingUpstream& Upstream() {
+  static CountingUpstream upstream;
+  return upstream;
+}
+
+}  // namespace
+
+std::pmr::memory_resource* EnvelopePool() {
+  // Never destroyed: envelopes are shared across sites and a bench may hold
+  // metrics snapshots past cluster teardown, so the arena must outlive every
+  // possible shared_ptr. A leaked singleton is the standard answer.
+  static auto* pool =
+      new std::pmr::unsynchronized_pool_resource(&Upstream());
+  return pool;
+}
+
+const EnvelopePoolStats& PoolStats() { return Upstream().stats; }
+
+namespace internal {
+void NoteEnvelopeAllocated() { ++Upstream().stats.envelopes; }
+}  // namespace internal
+
+}  // namespace dvp::net

@@ -6,14 +6,22 @@
 // cumulative acknowledgement for the reverse channel.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace dvp::net {
+
+/// Fixed overhead every envelope pays on the (modeled) wire: message kind,
+/// trace id. The simulator never serializes for real; sizes are the byte
+/// ledger the experiment harness charges traffic against.
+inline constexpr size_t kEnvelopeHeaderBytes = 16;
 
 /// Base class for all application payloads carried by the network.
 /// Payloads are immutable once sent (shared between duplicates).
@@ -23,13 +31,63 @@ class Envelope {
   /// Short human-readable tag for tracing (e.g. "VmTransfer", "Request").
   virtual std::string_view Tag() const = 0;
 
+  /// Modeled serialized size of this payload, header included. Subclasses
+  /// with variable-length bodies override; the default covers the fixed
+  /// header only.
+  virtual size_t EncodedSize() const { return kEnvelopeHeaderBytes; }
+
+  /// Encode-once size: computed on first use and cached, the same trick
+  /// GroupCommitLog::EncodeRecordTo plays for log records. Every
+  /// retransmission, duplicate, and coalesced frame the envelope rides
+  /// reuses the cached figure instead of re-walking the message.
+  size_t WireSize() const {
+    if (wire_size_ == 0) wire_size_ = EncodedSize();
+    return wire_size_;
+  }
+
   /// Causal id of the transaction (or standalone Vm) this payload serves;
   /// senders stamp it, replies echo it, and the trace recorder links the
   /// cross-site events it appears in into one chain. 0 = uncorrelated.
   uint64_t trace_id = 0;
+
+ private:
+  /// Cached EncodedSize(); safe because payloads are immutable once sent.
+  mutable size_t wire_size_ = 0;
 };
 
 using EnvelopePtr = std::shared_ptr<const Envelope>;
+
+/// Running tally of the envelope pool's behavior: how many envelopes were
+/// pool-allocated versus how many times the pool had to go to the upstream
+/// allocator for a fresh block. A high envelopes/upstream ratio is the
+/// recycling the pool exists for.
+struct EnvelopePoolStats {
+  uint64_t envelopes = 0;             ///< MakeEnvelope allocations served
+  uint64_t upstream_allocations = 0;  ///< pool refills from the heap
+  uint64_t upstream_bytes = 0;        ///< bytes fetched from the heap
+};
+
+/// The process-lifetime pool envelopes are carved from. Messages are small,
+/// identically-shaped, and churn at per-transaction rate — exactly the
+/// profile a pool resource recycles well. Process lifetime (not per-site) so
+/// shared_ptrs crossing sites never outlive their arena; unsynchronized is
+/// fine because the simulation is single-threaded.
+std::pmr::memory_resource* EnvelopePool();
+const EnvelopePoolStats& PoolStats();
+
+namespace internal {
+void NoteEnvelopeAllocated();
+}  // namespace internal
+
+/// Allocates an envelope (control block included, via allocate_shared) from
+/// the pool. Drop-in for std::make_shared at every message construction site.
+template <typename T, typename... Args>
+std::shared_ptr<T> MakeEnvelope(Args&&... args) {
+  internal::NoteEnvelopeAllocated();
+  return std::allocate_shared<T>(std::pmr::polymorphic_allocator<T>(
+                                     EnvelopePool()),
+                                 std::forward<Args>(args)...);
+}
 
 /// Transport classes: reliable messages are numbered, retransmitted and
 /// delivered in order exactly once per epoch; datagrams are fire-and-forget
@@ -104,5 +162,27 @@ struct Packet {
   /// max_frame_hints); advisory channel state like the ack, not payload.
   std::vector<PlacementHint> hints;
 };
+
+/// Modeled wire-size constants for the non-payload parts of a packet.
+inline constexpr size_t kPacketHeaderBytes = 32;  ///< src,dst,class,epoch,seqs
+inline constexpr size_t kAckBytes = 17;           ///< ack_epoch,ack_cum,flag
+inline constexpr size_t kHintBytes = 28;          ///< item,surplus,demand,stamp
+inline constexpr size_t kSubMsgHeaderBytes = 9;   ///< class,seq
+
+/// Total modeled bytes the packet occupies on the wire. Payload and rider
+/// sizes come from the envelopes' cached WireSize(), so a coalesced frame is
+/// costed without re-walking any sub-message and a retransmission reuses
+/// every figure from the first send.
+inline size_t WireBytes(const Packet& p) {
+  size_t bytes = kPacketHeaderBytes;
+  if (p.has_ack) bytes += kAckBytes;
+  bytes += p.hints.size() * kHintBytes;
+  if (p.payload) bytes += p.payload->WireSize();
+  for (const SubMsg& sub : p.extra) {
+    bytes += kSubMsgHeaderBytes;
+    if (sub.payload) bytes += sub.payload->WireSize();
+  }
+  return bytes;
+}
 
 }  // namespace dvp::net

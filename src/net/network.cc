@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <cassert>
+#include <utility>
 
 namespace dvp::net {
 
@@ -40,8 +41,9 @@ void Network::SetAllLinkParams(LinkParams params) {
   }
 }
 
-void Network::ScheduleDelivery(const Packet& packet, SimTime delay) {
-  kernel_->Schedule(delay, [this, packet]() {
+void Network::ScheduleDelivery(Packet packet, SimTime delay,
+                               uint64_t wire_bytes) {
+  kernel_->Schedule(delay, [this, packet = std::move(packet), wire_bytes]() {
     // Connectivity and destination liveness are evaluated at delivery time:
     // a partition or crash that happened while the packet was in flight
     // destroys it.
@@ -55,6 +57,7 @@ void Network::ScheduleDelivery(const Packet& packet, SimTime delay) {
       return;
     }
     ++stats_.packets_delivered;
+    stats_.bytes_delivered += wire_bytes;
     ep.deliver(packet);
   });
 }
@@ -62,9 +65,13 @@ void Network::ScheduleDelivery(const Packet& packet, SimTime delay) {
 void Network::Send(Packet packet) {
   assert(packet.src.value() < num_sites_ && packet.dst.value() < num_sites_);
   ++stats_.packets_sent;
+  // Costed once here; envelopes cache their own encoded sizes, so even this
+  // walk touches each sub-message's figure, not the sub-message itself.
+  uint64_t wire_bytes = WireBytes(packet);
+  stats_.bytes_sent += wire_bytes;
   if (packet.src == packet.dst) {
     // Local loopback: immediate, reliable.
-    ScheduleDelivery(packet, 0);
+    ScheduleDelivery(std::move(packet), 0, wire_bytes);
     return;
   }
   if (!partition_.Connected(packet.src, packet.dst)) {
@@ -76,10 +83,19 @@ void Network::Send(Packet packet) {
     ++stats_.packets_lost_link;
     return;
   }
-  ScheduleDelivery(packet, link.SampleDelay());
+  // The RNG draw order (loss, delay, duplicate?, dup-delay) and the
+  // original-before-duplicate event insertion order are part of the chaos
+  // determinism contract; the duplicate branch copies up front so the
+  // common no-duplicate path moves the packet straight into its event.
+  SimTime delay = link.SampleDelay();
   if (link.SampleDuplicate()) {
     ++stats_.packets_duplicated;
-    ScheduleDelivery(packet, link.SampleDelay());
+    Packet dup = packet;
+    SimTime dup_delay = link.SampleDelay();
+    ScheduleDelivery(std::move(packet), delay, wire_bytes);
+    ScheduleDelivery(std::move(dup), dup_delay, wire_bytes);
+  } else {
+    ScheduleDelivery(std::move(packet), delay, wire_bytes);
   }
 }
 
@@ -95,11 +111,13 @@ void Network::Broadcast(SiteId src, EnvelopePtr payload) {
     p.reliability = Reliability::kDatagram;
     p.payload = payload;
     ++stats_.packets_sent;
+    uint64_t wire_bytes = WireBytes(p);
+    stats_.bytes_sent += wire_bytes;
     if (!partition_.Connected(p.src, p.dst)) {
       ++stats_.packets_lost_partition;
       continue;
     }
-    ScheduleDelivery(p, delay);
+    ScheduleDelivery(std::move(p), delay, wire_bytes);
   }
 }
 

@@ -30,6 +30,11 @@ struct NetworkStats {
   uint64_t packets_lost_partition = 0;  ///< dropped by disconnection
   uint64_t packets_lost_down = 0;       ///< destination site was down
   uint64_t packets_duplicated = 0;
+  /// Modeled wire bytes (WireBytes) of packets offered by senders. Link
+  /// duplicates are charged to bytes_delivered only, mirroring how
+  /// packets_sent excludes packets_duplicated.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_delivered = 0;  ///< bytes that reached a live endpoint
 };
 
 /// Callback a site registers to receive packets. A site that is crashed
@@ -78,7 +83,11 @@ class Network {
   };
 
   Link& LinkFor(SiteId src, SiteId dst);
-  void ScheduleDelivery(const Packet& packet, SimTime delay);
+  /// Takes the packet by value and moves it into the delivery event — one
+  /// Packet (with its hint/rider vectors) alive per scheduled delivery, no
+  /// extra copy per hop. `wire_bytes` is the sender-computed WireBytes,
+  /// passed in so the figure is costed once per Send, not per delivery.
+  void ScheduleDelivery(Packet packet, SimTime delay, uint64_t wire_bytes);
 
   sim::Kernel* kernel_;
   uint32_t num_sites_;

@@ -22,13 +22,23 @@
 //    the write-only/locally-satisfiable fast path with zero redistribution
 //    messages.
 //
+// All state is SPARSE and sized by activity, not by catalog width. The
+// advert side keeps a ring of items this site has actually touched (fed by a
+// ValueStore observer and by demand bumps) so building a frame's hints never
+// scans num_items; the cache side keys by hinted item then by site, so a
+// million-item catalog with a few thousand hot items costs a few thousand
+// entries — not sites×items — and the rebalance tick walks only items some
+// peer has advertised.
+//
 // Everything is integer arithmetic on kernel time — no RNG streams, no
 // floating point — so chaos runs stay a pure function of seed and schedule.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +73,9 @@ struct PlacementOptions {
   core::Value rebalance_min_demand = 2;
   /// Demand EWMA halving period (integer halvings of elapsed/halflife).
   SimTime demand_halflife_us = 1'000'000;
+  /// A cached hint untouched for this many staleness windows is evicted by
+  /// the rebalance tick; bounds cache memory to recently-hinted items.
+  uint32_t cache_evict_staleness_windows = 8;
 };
 
 /// Per-site placement state: the SurplusMap cache of peers' advertisements,
@@ -84,9 +97,11 @@ class PlacementManager {
   // ---- Advertiser side ----------------------------------------------------
 
   /// Up to hints_per_frame advertisements for a packet to `dst`: own
-  /// shippable surplus + decayed demand per item, round-robin over items so
-  /// every item gets airtime even on narrow frames. Called by the transport
-  /// at send time, so even retransmissions carry the freshest view.
+  /// shippable surplus + decayed demand per item, round-robin over the ring
+  /// of touched items so every active item gets airtime even on narrow
+  /// frames. Called by the transport at send time, so even retransmissions
+  /// carry the freshest view. Cost is O(hints_per_frame + entries retired),
+  /// never O(num_items).
   std::vector<net::PlacementHint> AdvertsFor(SiteId dst);
 
   // ---- Cache side ---------------------------------------------------------
@@ -131,6 +146,18 @@ class PlacementManager {
 
   const PlacementOptions& options() const { return options_; }
 
+  // ---- Introspection (memory proxies for the scale bench) ------------------
+
+  /// Items currently in the advert ring (touched, not yet retired).
+  size_t advert_ring_size() const { return advert_ring_.size(); }
+  /// Hinted items / total (item, site) hint entries currently cached.
+  size_t cache_items() const { return cache_.size(); }
+  size_t cache_entries() const { return cache_entry_count_; }
+  /// High-water mark of cache_entries() — the O(active) claim, measurable.
+  size_t cache_entries_peak() const { return cache_entries_peak_; }
+  /// Items with live (undecayed) local demand state.
+  size_t demand_entries() const { return demand_.size(); }
+
  private:
   struct CachedHint {
     core::Value surplus = 0;
@@ -143,16 +170,27 @@ class PlacementManager {
     int64_t level_q8 = 0;
     SimTime updated_at = 0;
   };
+  /// Hints about one item, keyed by advertising site. Ordered so ranking and
+  /// push-target scans are deterministic without a sort over sites.
+  using HintRow = std::map<uint32_t, CachedHint>;
 
   bool Fresh(const CachedHint& h, SimTime now) const {
     return h.seen_at >= 0 && now - h.seen_at <= options_.hint_staleness_us;
   }
   void DecayInPlace(Demand& d, SimTime now) const;
   void BumpDemand(ItemId item, core::Value amount);
+  /// Ensures `item` is in the advert ring (no-op when hints are off).
+  void TouchAdvert(uint32_t item);
+  /// Swap-erases ring slot `pos`; the cursor then points at the moved-in
+  /// tail element, so callers keep scanning without skipping it.
+  void RetireAdvert(size_t pos);
+  /// Decays the item's demand entry; erases and returns true when no Q8 mass
+  /// is left (the item can leave the advert ring).
+  bool DemandGone(uint32_t item, SimTime now);
   void ArmTick();
   void Tick();
   /// One rebalance attempt for `item`; true if a push went out.
-  bool TryPush(ItemId item);
+  bool TryPush(ItemId item, HintRow& row);
 
   SiteId self_;
   uint32_t num_sites_;
@@ -168,10 +206,22 @@ class PlacementManager {
   obs::Counter* m_rebalance_push_;
   obs::Counter* m_rebalance_value_;
 
-  /// cache_[src][item]; the self row stays empty.
-  std::vector<std::vector<CachedHint>> cache_;
-  std::vector<Demand> demand_;
-  uint32_t advert_cursor_ = 0;
+  /// Peer advertisements, cache_[item][site]; only items some peer has
+  /// actually hinted (or NACKed) exist. Ordered by item so the rebalance
+  /// cursor can resume deterministically across inserts and evictions.
+  std::map<uint32_t, HintRow> cache_;
+  size_t cache_entry_count_ = 0;
+  size_t cache_entries_peak_ = 0;
+  /// Local demand EWMAs, only for items with undecayed mass.
+  std::map<uint32_t, Demand> demand_;
+
+  /// Items worth advertising: everything this site's store has materialised
+  /// plus everything with local demand. Entries whose surplus and demand
+  /// have both drained are retired lazily as the cursor passes them.
+  std::vector<uint32_t> advert_ring_;
+  std::unordered_set<uint32_t> advert_members_;
+  size_t advert_cursor_ = 0;
+  /// Item id (not index) the next rebalance tick resumes from.
   uint32_t rebalance_cursor_ = 0;
 
   std::function<Status(SiteId, ItemId, core::Value)> send_value_fn_;

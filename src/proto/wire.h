@@ -47,6 +47,10 @@ struct RequestMsg final : public net::Envelope {
   bool want_surplus_nack = false;
 
   std::string_view Tag() const override { return "Request"; }
+  size_t EncodedSize() const override {
+    // txn, ts, origin, round, flag + one (item, amount, flag) per part.
+    return net::kEnvelopeHeaderBytes + 8 + 8 + 4 + 4 + 1 + parts.size() * 13;
+  }
 };
 
 /// A real message belonging to a Vm.
@@ -85,6 +89,11 @@ struct VmTransferMsg final : public net::Envelope {
   uint64_t create_count = 0;
 
   std::string_view Tag() const override { return "VmTransfer"; }
+  size_t EncodedSize() const override {
+    // vm, src, item, amount, for_txn, ts, closed_below + read-reply block.
+    return net::kEnvelopeHeaderBytes + 8 + 4 + 4 + 8 + 8 + 8 + 8 +
+           (1 + 4 + 8 + 8);
+  }
 };
 
 /// Acknowledgement that `vm` was durably accepted.
@@ -94,6 +103,9 @@ struct VmAckMsg final : public net::Envelope {
   uint64_t ts_packed = 0;
 
   std::string_view Tag() const override { return "VmAck"; }
+  size_t EncodedSize() const override {
+    return net::kEnvelopeHeaderBytes + 8 + 4 + 8;  // vm, from, ts
+  }
 };
 
 /// Courtesy notification that the sender's channel to the recipient drained:
@@ -109,6 +121,9 @@ struct VmClosureMsg final : public net::Envelope {
   uint64_t closed_below = 0;
 
   std::string_view Tag() const override { return "VmClosure"; }
+  size_t EncodedSize() const override {
+    return net::kEnvelopeHeaderBytes + 4 + 8;  // src, closed_below
+  }
 };
 
 /// Courtesy refusal when the Conc1 timestamp rule blocks a request: carries
@@ -121,6 +136,9 @@ struct CcNackMsg final : public net::Envelope {
   uint64_t ts_packed = 0;
 
   std::string_view Tag() const override { return "CcNack"; }
+  size_t EncodedSize() const override {
+    return net::kEnvelopeHeaderBytes + 4 + 8;  // from, ts
+  }
 };
 
 /// Courtesy "nothing to ship" reply to a surplus-directed shortfall request
@@ -133,6 +151,9 @@ struct SurplusNackMsg final : public net::Envelope {
   uint64_t ts_packed = 0;
 
   std::string_view Tag() const override { return "SurplusNack"; }
+  size_t EncodedSize() const override {
+    return net::kEnvelopeHeaderBytes + 4 + 4 + 8;  // from, item, ts
+  }
 };
 
 }  // namespace dvp::proto

@@ -1,6 +1,8 @@
 #include "site/site.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "proto/wire.h"
 
@@ -176,7 +178,17 @@ void Site::Checkpoint() {
   // Force the pending batch (running its completion callbacks) before
   // imaging the store: the image must not get ahead of the durable log.
   wal_->Flush();
-  for (uint32_t i = 0; i < store_->num_items(); ++i) {
+  // Only materialised fragments need an image entry: an absent fragment IS
+  // the domain identity, and recovery's store starts there. Sorted so the
+  // imaging order (and any accounting keyed on it) is deterministic.
+  std::vector<uint32_t> resident;
+  resident.reserve(store_->resident_count());
+  for (const auto& [item, frag] : store_->resident_fragments()) {
+    (void)frag;
+    resident.push_back(item);
+  }
+  std::sort(resident.begin(), resident.end());
+  for (uint32_t i : resident) {
     const core::Fragment& frag = store_->fragment(ItemId(i));
     storage_->WriteImage(ItemId(i), frag.value, frag.ts.packed());
   }

@@ -44,6 +44,22 @@ void Cluster::BootstrapEven() {
   (void)s;
 }
 
+void Cluster::BootstrapHomed() {
+  assert(!booted_);
+  if (booted_) return;  // release-build guard
+  // Build each site's slice directly: no per-item num_sites-wide share
+  // vectors, no cross-site validation loop. Domain validity of "everything"
+  // and "nothing" is the bootstrap invariant the even split also relies on.
+  for (uint32_t s = 0; s < options_.num_sites; ++s) {
+    std::map<ItemId, core::Value> per_site;
+    for (uint32_t i = s; i < catalog_->num_items(); i += options_.num_sites) {
+      per_site[ItemId(i)] = catalog_->info(ItemId(i)).initial_total;
+    }
+    sites_[s]->Bootstrap(per_site);
+  }
+  booted_ = true;
+}
+
 Status Cluster::Bootstrap(
     const std::map<ItemId, std::vector<core::Value>>& alloc) {
   if (booted_) return Status::FailedPrecondition("cluster already booted");
@@ -118,6 +134,11 @@ Status Cluster::AuditAll() const {
   return verify::AuditAll(storages, *catalog_);
 }
 
+Status Cluster::AuditAllBulk() const {
+  auto storages = Storages();
+  return verify::AuditAllBulk(storages, *catalog_);
+}
+
 verify::LiveValueFn Cluster::LiveView() const {
   return [this](SiteId s, ItemId item) -> std::optional<core::Value> {
     const site::Site& site = *sites_[s.value()];
@@ -141,6 +162,8 @@ CounterSet Cluster::AggregateCounters() const {
   out.Inc("net.lost_partition", ns.packets_lost_partition);
   out.Inc("net.lost_down", ns.packets_lost_down);
   out.Inc("net.duplicated", ns.packets_duplicated);
+  out.Inc("net.bytes_sent", ns.bytes_sent);
+  out.Inc("net.bytes_delivered", ns.bytes_delivered);
   return out;
 }
 

@@ -261,7 +261,7 @@ void TxnManager::SendRequests(PendingTxn& t,
   }
 
   auto make_msg = [&]() {
-    auto msg = std::make_shared<proto::RequestMsg>();
+    auto msg = net::MakeEnvelope<proto::RequestMsg>();
     msg->txn = t.id;
     msg->ts_packed = t.ts.packed();
     msg->origin = self_;
@@ -433,7 +433,7 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
     if (policy_.scheme() == cc::CcScheme::kConc1 &&
         req_ts < store_->ts(part.item)) {
       m_req_ignored_cc_->Inc();
-      auto nack = std::make_shared<proto::CcNackMsg>();
+      auto nack = net::MakeEnvelope<proto::CcNackMsg>();
       nack->from = self_;
       nack->trace_id = msg.trace_id;
       // Carry whichever is larger: our clock or the stamp that beat the
@@ -465,7 +465,7 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
         if (msg.want_surplus_nack) {
           // Tell the surplus-directed origin its hint was wrong so its cache
           // self-corrects now rather than when the hint ages out.
-          auto nack = std::make_shared<proto::SurplusNackMsg>();
+          auto nack = net::MakeEnvelope<proto::SurplusNackMsg>();
           nack->from = self_;
           nack->item = part.item;
           nack->ts_packed = clock_->Peek().packed();
@@ -555,7 +555,7 @@ void TxnManager::HandleReadReply(PendingTxn& t,
 void TxnManager::SendReadRound(PendingTxn& t, ItemId item,
                                bool only_missing) {
   const ReadState& rs = t.reads.at(item);
-  auto msg = std::make_shared<proto::RequestMsg>();
+  auto msg = net::MakeEnvelope<proto::RequestMsg>();
   msg->txn = t.id;
   msg->ts_packed = t.ts.packed();
   msg->origin = self_;
@@ -810,7 +810,7 @@ void TxnManager::Finish(PendingTxn& t, TxnResult result) {
 
 void TxnManager::Prefetch(ItemId item, core::Value amount) {
   if (amount <= 0 || item.value() >= store_->num_items()) return;
-  auto msg = std::make_shared<proto::RequestMsg>();
+  auto msg = net::MakeEnvelope<proto::RequestMsg>();
   Timestamp ts = clock_->Next();
   msg->txn = TxnId(ts.packed());
   msg->ts_packed = ts.packed();

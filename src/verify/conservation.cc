@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "dvpcore/value_store.h"
 #include "recovery/recovery.h"
@@ -104,6 +105,71 @@ Status AuditAll(std::span<const wal::StableStorage* const> storages,
           " (durable=" + std::to_string(b.site_total) +
           ") in_flight=" + std::to_string(b.volatile_in_flight) +
           " expected=" + std::to_string(expect_vol));
+    }
+  }
+  return Status::OK();
+}
+
+Status AuditAllBulk(std::span<const wal::StableStorage* const> storages,
+                    const core::Catalog& catalog) {
+  struct LiveVm {
+    core::Value amount = 0;
+    ItemId item;
+  };
+  // Accumulated across ALL sites in one pass each; keyed by raw item id.
+  std::unordered_map<uint32_t, core::Value> site_total;
+  std::unordered_map<uint32_t, core::Value> committed_delta;
+  std::map<VmId, LiveVm> created;
+  std::set<VmId> accepted;
+
+  for (const wal::StableStorage* storage : storages) {
+    core::ValueStore scratch(&catalog);
+    recovery::RecoveryReport report;
+    Status s = recovery::RebuildStore(*storage, &scratch, &report);
+    if (!s.ok()) continue;  // unreadable image: fragment contributes nothing
+    for (const auto& [item, frag] : scratch.resident_fragments()) {
+      site_total[item] += frag.value;
+    }
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, storage->log_size(),
+        [&](Lsn lsn, const wal::LogRecord& rec) {
+          if (lsn.value() >= report.valid_prefix) return;  // durable view only
+          if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+            created[c->vm] = LiveVm{c->amount, c->item};
+          } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+            accepted.insert(a->vm);
+          } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
+            for (const auto& w : t->writes) {
+              committed_delta[w.item.value()] += w.delta;
+            }
+          }
+        },
+        &ignored);
+  }
+
+  std::unordered_map<uint32_t, core::Value> in_flight;
+  for (const auto& [vm, live_vm] : created) {
+    if (!accepted.contains(vm)) in_flight[live_vm.item.value()] += live_vm.amount;
+  }
+
+  auto lookup = [](const std::unordered_map<uint32_t, core::Value>& m,
+                   uint32_t k) -> core::Value {
+    auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+  };
+  for (ItemId item : catalog.AllItems()) {
+    core::Value fragments = lookup(site_total, item.value());
+    core::Value flight = lookup(in_flight, item.value());
+    core::Value delta = lookup(committed_delta, item.value());
+    core::Value expect = catalog.info(item).initial_total + delta;
+    if (fragments + flight != expect) {
+      return Status::Internal(
+          "conservation violated for item " + catalog.info(item).name +
+          ": fragments=" + std::to_string(fragments) +
+          " in_flight=" + std::to_string(flight) +
+          " committed_delta=" + std::to_string(delta) +
+          " expected=" + std::to_string(expect));
     }
   }
   return Status::OK();

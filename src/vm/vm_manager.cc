@@ -138,7 +138,7 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
 }
 
 void VmManager::SendTransfer(VmId id, const OutVm& out) {
-  auto msg = std::make_shared<proto::VmTransferMsg>();
+  auto msg = net::MakeEnvelope<proto::VmTransferMsg>();
   msg->vm = id;
   msg->src = self_;
   msg->item = out.item;
@@ -159,7 +159,7 @@ void VmManager::SendTransfer(VmId id, const OutVm& out) {
 }
 
 void VmManager::SendAck(VmId vm, SiteId to, uint64_t trace_id) {
-  auto ack = std::make_shared<proto::VmAckMsg>();
+  auto ack = net::MakeEnvelope<proto::VmAckMsg>();
   ack->vm = vm;
   ack->from = self_;
   ack->ts_packed = clock_->Next().packed();
@@ -297,7 +297,7 @@ void VmManager::FinishAcked(VmId vm) {
   // cancelling any previous closure to the same peer so at most one is ever
   // in flight per channel.
   if (ClosedBelowFor(dst) == next_vm_counter_) {
-    auto closure = std::make_shared<proto::VmClosureMsg>();
+    auto closure = net::MakeEnvelope<proto::VmClosureMsg>();
     closure->src = self_;
     closure->closed_below = next_vm_counter_;
     auto prev = closure_tokens_.find(dst);

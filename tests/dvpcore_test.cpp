@@ -2,6 +2,7 @@
 // operators and their algebraic laws (§4.1), catalog and fragment store.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -226,6 +227,59 @@ TEST(ValueStoreTest, InstallAndMutate) {
   store.SetTs(a, Timestamp(9, SiteId(2)));
   EXPECT_EQ(store.fragment(a).value, 13);
   EXPECT_EQ(store.fragment(a).ts, Timestamp(9, SiteId(2)));
+}
+
+// Sparse store: untouched items cost nothing; absent reads as identity, and
+// residency tracks what was actually touched, not the catalog width.
+TEST(ValueStoreTest, ResidencyTracksTouchedItemsNotCatalogWidth) {
+  Catalog catalog;
+  for (int i = 0; i < 1000; ++i) {
+    catalog.AddItem("i" + std::to_string(i), CountDomain::Instance(), 10);
+  }
+  ValueStore store(&catalog);
+  EXPECT_EQ(store.resident_count(), 0u);
+  EXPECT_EQ(store.num_items(), 1000u);
+  EXPECT_EQ(store.value(ItemId(999)), 0);  // absent = domain identity
+  store.SetValue(ItemId(7), 3);
+  store.Install(ItemId(400), 5, Timestamp(1, SiteId(0)));
+  EXPECT_EQ(store.fragment(ItemId(7)).value, 3);
+  EXPECT_EQ(store.fragment(ItemId(400)).value, 5);
+  // Residency stays O(touched): the two writes plus the one cached read.
+  EXPECT_EQ(store.resident_count(), 3u);
+  EXPECT_TRUE(store.resident_fragments().count(7));
+  EXPECT_TRUE(store.resident_fragments().count(400));
+}
+
+// Regression: an out-of-catalog item used to index fragments_[item.value()]
+// unchecked — UB in release builds. Reads now return the identity fragment.
+TEST(ValueStoreTest, OutOfCatalogReadIsIdentityNotUb) {
+#ifdef NDEBUG
+  Catalog catalog;
+  catalog.AddItem("only", CountDomain::Instance(), 100);
+  ValueStore store(&catalog);
+  ItemId beyond(17);  // way past the 1-item catalog
+  EXPECT_EQ(store.value(beyond), 0);
+  EXPECT_EQ(store.ts(beyond), Timestamp::Zero());
+  store.SetValue(beyond, 5);  // ignored, must not crash or materialize
+  EXPECT_EQ(store.resident_count(), 0u);
+#else
+  GTEST_SKIP() << "debug builds assert on out-of-catalog access";
+#endif
+}
+
+TEST(ValueStoreTest, ObserverFiresOnWritesOnly) {
+  Catalog catalog;
+  ItemId a = catalog.AddItem("a", CountDomain::Instance(), 100);
+  ItemId b = catalog.AddItem("b", CountDomain::Instance(), 100);
+  ValueStore store(&catalog);
+  std::vector<uint32_t> seen;
+  store.set_observer([&seen](ItemId item) { seen.push_back(item.value()); });
+  (void)store.value(a);                 // read: no event
+  store.SetTs(a, Timestamp(1, SiteId(0)));  // ts-only: no event
+  store.SetValue(a, 4);
+  store.Install(b, 9, Timestamp(2, SiteId(1)));
+  store.SetValue(a, 6);  // already resident: still an event (value changed)
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 1, 0}));
 }
 
 }  // namespace

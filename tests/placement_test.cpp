@@ -5,6 +5,9 @@
 // coexists with faults under the full oracle suite.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "chaos/harness.h"
 #include "placement/placement.h"
 #include "system/cluster.h"
@@ -112,6 +115,93 @@ TEST_F(PlacementUnitTest, AdvertsReportShippableSurplusAndLocalDemand) {
   // Demand is an EWMA: it halves per halflife instead of persisting forever.
   AdvanceTo(2'000'000);
   EXPECT_EQ(pm_->LocalDemand(item_), 3);
+}
+
+// ---- Sparse-state behaviour (the O(active) rewrite) --------------------------
+
+// The advert ring holds items this site has touched — never the catalog
+// width — and drained items leave it as the advert cursor passes them.
+TEST(PlacementSparseTest, AdvertRingTracksTouchedItemsAndRetiresDrained) {
+  sim::Kernel kernel;
+  core::Catalog catalog;
+  std::vector<ItemId> items;
+  for (int i = 0; i < 100; ++i) {
+    items.push_back(
+        catalog.AddItem("i" + std::to_string(i), CountDomain::Instance(), 10));
+  }
+  core::ValueStore store(&catalog);
+  placement::PlacementOptions popts;
+  popts.hints_per_frame = 4;
+  placement::PlacementManager pm(SiteId(0), 4, &kernel, &store,
+                                 /*metrics=*/nullptr, popts);
+  EXPECT_EQ(pm.advert_ring_size(), 0u);
+
+  store.Install(items[3], 10, Timestamp::Zero());
+  store.SetValue(items[10], 5);
+  EXPECT_EQ(pm.advert_ring_size(), 2u);  // O(touched), not 100
+
+  auto adverts = pm.AdvertsFor(SiteId(1));
+  EXPECT_EQ(adverts.size(), 2u);
+
+  // Drain both fragments: with no surplus and no local demand the next
+  // advert pass retires the ring entries instead of advertising nothing
+  // forever.
+  store.SetValue(items[3], 0);
+  store.SetValue(items[10], 0);
+  EXPECT_TRUE(pm.AdvertsFor(SiteId(1)).empty());
+  EXPECT_EQ(pm.advert_ring_size(), 0u);
+
+  // A later write re-adds the item — retirement is lazy, not permanent.
+  store.SetValue(items[10], 2);
+  EXPECT_EQ(pm.advert_ring_size(), 1u);
+}
+
+// Fragments resident before the manager exists (bootstrap, recovery) still
+// get airtime: the constructor seeds the ring from the store.
+TEST(PlacementSparseTest, AdvertRingSeedsFromFragmentsResidentAtConstruction) {
+  sim::Kernel kernel;
+  core::Catalog catalog;
+  ItemId a = catalog.AddItem("a", CountDomain::Instance(), 50);
+  catalog.AddItem("b", CountDomain::Instance(), 50);
+  core::ValueStore store(&catalog);
+  store.Install(a, 50, Timestamp::Zero());
+
+  placement::PlacementOptions popts;
+  popts.hints_per_frame = 4;
+  placement::PlacementManager pm(SiteId(0), 4, &kernel, &store,
+                                 /*metrics=*/nullptr, popts);
+  EXPECT_EQ(pm.advert_ring_size(), 1u);
+  auto adverts = pm.AdvertsFor(SiteId(1));
+  ASSERT_EQ(adverts.size(), 1u);
+  EXPECT_EQ(adverts[0].item, a);
+  EXPECT_EQ(adverts[0].surplus, 50);
+}
+
+// The rebalance tick evicts hint rows untouched for
+// cache_evict_staleness_windows staleness windows, so the cache is bounded
+// by recently-hinted items instead of growing with every item ever hinted.
+TEST_F(PlacementUnitTest, TickEvictsStaleHintRowsAndBoundsTheCache) {
+  placement::PlacementOptions popts;
+  popts.hints_per_frame = 4;
+  popts.hint_staleness_us = 10'000;
+  popts.cache_evict_staleness_windows = 2;  // evict after 20ms untouched
+  popts.rebalance = true;
+  popts.rebalance_interval_us = 5'000;
+  Build(popts);
+  pm_->set_send_value_fn(
+      [](SiteId, ItemId, core::Value) { return Status::OK(); });
+  pm_->Start();
+
+  pm_->OnHints(SiteId(1), {{item_, 10, 0, 1}});
+  pm_->OnHints(SiteId(2), {{item_, 7, 0, 1}});
+  EXPECT_EQ(pm_->cache_items(), 1u);
+  EXPECT_EQ(pm_->cache_entries(), 2u);
+
+  // Run past the eviction horizon (bounded run: the tick rearms forever).
+  kernel_.Run(100'000);
+  EXPECT_EQ(pm_->cache_items(), 0u);
+  EXPECT_EQ(pm_->cache_entries(), 0u);
+  EXPECT_EQ(pm_->cache_entries_peak(), 2u);  // high-water mark survives
 }
 
 // ---- Cluster-level behaviour ------------------------------------------------

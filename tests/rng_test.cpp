@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -159,7 +160,49 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ZipfDistributionTest,
     ::testing::Values(ZipfCase{4, 0.5}, ZipfCase{4, 0.99}, ZipfCase{4, 1.4},
                       ZipfCase{16, 0.8}, ZipfCase{16, 2.0},
-                      ZipfCase{1000, 0.99}, ZipfCase{1, 1.0}));
+                      ZipfCase{1000, 0.99}, ZipfCase{1, 1.0},
+                      // Above the exact-table limit (4096) with theta >= 1:
+                      // the regime where the Gray et al. approximation
+                      // diverges and which used to be assert-only (NDEBUG
+                      // builds sampled garbage). Must take the exact path.
+                      ZipfCase{100'000, 1.2}, ZipfCase{50'000, 1.0}));
+
+// Regression: large n with theta >= 1 used to fall through to the
+// approximation whose 1/(1-theta) exponent is undefined at theta = 1 and
+// sign-flipped beyond it. Check the head mass against the analytic CDF.
+TEST(ZipfTest, LargeNThetaAtLeastOneMatchesHeadMass) {
+  constexpr uint64_t kN = 100'000;
+  constexpr double kTheta = 1.2;
+  Rng rng(37);
+  ZipfGenerator zipf(kN, kTheta);
+  constexpr int kDraws = 200'000;
+  constexpr uint64_t kHead = 10;
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = zipf.Next(rng);
+    ASSERT_LT(k, kN);
+    if (k < kHead) ++head;
+  }
+  double norm = 0, head_mass = 0;
+  for (uint64_t k = 0; k < kN; ++k) {
+    double p = 1.0 / std::pow(double(k + 1), kTheta);
+    norm += p;
+    if (k < kHead) head_mass += p;
+  }
+  EXPECT_NEAR(double(head) / kDraws, head_mass / norm, 0.01);
+}
+
+// The million-item generator bench_scale leans on: fixed seed, fixed stream.
+TEST(ZipfTest, MillionItemGeneratorIsDeterministicAndInRange) {
+  constexpr uint64_t kN = 1'000'000;
+  Rng a(41), b(41);
+  ZipfGenerator za(kN, 0.99), zb(kN, 0.99);
+  for (int i = 0; i < 10'000; ++i) {
+    uint64_t va = za.Next(a);
+    ASSERT_LT(va, kN);
+    ASSERT_EQ(va, zb.Next(b));
+  }
+}
 
 TEST(SampleWeightedTest, RespectsWeights) {
   Rng rng(31);
@@ -168,6 +211,37 @@ TEST(SampleWeightedTest, RespectsWeights) {
   for (int i = 0; i < 40'000; ++i) ++counts[SampleWeighted(rng, weights)];
   EXPECT_EQ(counts[1], 0);
   EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.3);
+}
+
+// Regression: an all-zero weight vector used to fall off the scan and
+// return the LAST index every time (a silent bias that only release builds
+// hit — the debug assert fired first). It now falls back to uniform.
+TEST(SampleWeightedTest, AllZeroWeightsFallBackToUniform) {
+  Rng rng(43);
+  std::vector<double> weights{0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) {
+    size_t k = SampleWeighted(rng, weights);
+    ASSERT_LT(k, weights.size());
+    ++counts[k];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 4, kDraws / 20);
+}
+
+TEST(SampleWeightedTest, NonFiniteTotalFallsBackToUniform) {
+  Rng rng(47);
+  std::vector<double> weights{1.0, std::numeric_limits<double>::infinity(),
+                              2.0};
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(SampleWeighted(rng, weights), weights.size());
+  }
+}
+
+TEST(SampleWeightedTest, SingleElementAlwaysZero) {
+  Rng rng(53);
+  std::vector<double> weights{0.0};  // zero mass, one slot: still index 0
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleWeighted(rng, weights), 0u);
 }
 
 }  // namespace
