@@ -1,5 +1,7 @@
 #include "cc/lock_manager.h"
 
+#include <algorithm>
+
 namespace dvp::cc {
 
 bool LockManager::TryLockAll(std::span<const ItemId> items, TxnId owner) {
@@ -8,6 +10,22 @@ bool LockManager::TryLockAll(std::span<const ItemId> items, TxnId owner) {
     if (it != table_.end() && it->second != owner) return false;
   }
   for (ItemId item : items) table_[item] = owner;
+  return true;
+}
+
+bool LockManager::TryLockAllOrdered(std::vector<ItemId> items, TxnId owner) {
+  std::sort(items.begin(), items.end(),
+            [](ItemId a, ItemId b) { return a.value() < b.value(); });
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  last_acquisition_order_.clear();
+  for (ItemId item : items) {
+    auto it = table_.find(item);
+    if (it != table_.end() && it->second != owner) return false;
+  }
+  for (ItemId item : items) {
+    table_[item] = owner;
+    last_acquisition_order_.push_back(item);
+  }
   return true;
 }
 

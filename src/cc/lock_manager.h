@@ -26,6 +26,21 @@ class LockManager {
   /// with itself.
   bool TryLockAll(std::span<const ItemId> items, TxnId owner);
 
+  /// TryLockAll with the items sorted into ascending item-id order (and
+  /// deduplicated) before acquisition. Multi-item transactions must acquire
+  /// through this entry point: the global ascending order means no two
+  /// multi-ops can ever hold-and-want each other's locks in a cycle, even
+  /// across schemes that retry rather than abort. Acquisition is still
+  /// all-or-nothing.
+  bool TryLockAllOrdered(std::vector<ItemId> items, TxnId owner);
+
+  /// The exact item sequence the last TryLockAllOrdered call walked while
+  /// acquiring (empty if it failed the conflict pre-check). Exposed so tests
+  /// can assert the lock-order invariant directly.
+  const std::vector<ItemId>& last_acquisition_order() const {
+    return last_acquisition_order_;
+  }
+
   /// Try-lock for a single item (used by request-handling Rds actions).
   bool TryLock(ItemId item, TxnId owner);
 
@@ -50,6 +65,7 @@ class LockManager {
 
  private:
   std::unordered_map<ItemId, TxnId> table_;
+  std::vector<ItemId> last_acquisition_order_;
 };
 
 }  // namespace dvp::cc

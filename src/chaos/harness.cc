@@ -20,6 +20,7 @@ std::string U64(uint64_t v) { return std::to_string(v); }
 /// across replays regardless of how faults perturb the interleaving.
 struct Action {
   enum Kind { kTxn, kSend, kPrefetch };
+  enum Multi : uint8_t { kSingle = 0, kTransfer = 1, kOrder = 2 };
   SimTime at = 0;
   Kind kind = kTxn;
   uint32_t site = 0;
@@ -28,6 +29,9 @@ struct Action {
   int64_t amount = 1;
   bool is_read = false;
   bool is_decrement = false;
+  /// Multi-item atomic set: item is the decrement leg, item2 the increment.
+  Multi multi = kSingle;
+  uint32_t item2 = 0;
 };
 
 std::vector<Action> PrecomputeWorkload(const ChaosCase& c) {
@@ -52,8 +56,23 @@ std::vector<Action> PrecomputeWorkload(const ChaosCase& c) {
       a.amount = rng.NextInt(1, 5);
     } else {
       a.kind = Action::kTxn;
-      a.is_read = rng.NextBounded(1000) < w.read_permille;
-      a.is_decrement = rng.NextBool(0.5);
+      // Multi-op draws are gated on the knobs so every pre-existing seed
+      // consumes exactly the RNG stream it always did.
+      uint32_t mp = w.transfer_permille + w.order_permille;
+      if (mp > 0 && w.items >= 2) {
+        uint64_t mroll = rng.NextBounded(1000);
+        if (mroll < mp) {
+          a.multi = mroll < w.transfer_permille ? Action::kTransfer
+                                                : Action::kOrder;
+          do {
+            a.item2 = static_cast<uint32_t>(rng.NextBounded(w.items));
+          } while (a.item2 == a.item);
+        }
+      }
+      if (a.multi == Action::kSingle) {
+        a.is_read = rng.NextBounded(1000) < w.read_permille;
+        a.is_decrement = rng.NextBool(0.5);
+      }
     }
     actions.push_back(a);
   }
@@ -99,7 +118,8 @@ std::string ChaosCase::ToLiteral() const {
          ", " + U64(w.loss_permille) + ", " + U64(w.dup_permille) + ", " +
          U64(w.group_commit_records) + ", " +
          std::to_string(w.group_commit_delay_us) + ", " + U64(w.coalesce) +
-         ", " + U64(w.surplus_hints) + ", " + U64(w.rebalance) + "}, ";
+         ", " + U64(w.surplus_hints) + ", " + U64(w.rebalance) + ", " +
+         U64(w.transfer_permille) + ", " + U64(w.order_permille) + "}, ";
   out += plan.ToLiteral() + "}";
   return out;
 }
@@ -209,7 +229,11 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
         return;
       }
       txn::TxnSpec spec;
-      if (a.is_read) {
+      if (a.multi == Action::kTransfer) {
+        spec = txn::MakeTransfer(item, items[a.item2], a.amount);
+      } else if (a.multi == Action::kOrder) {
+        spec = txn::MakeOrder(item, items[a.item2], a.amount);
+      } else if (a.is_read) {
         spec.ops = {txn::TxnOp::ReadFull(item)};
       } else {
         spec.ops = {a.is_decrement ? txn::TxnOp::Decrement(item, a.amount)
@@ -459,6 +483,15 @@ ChaosCase MakeSwarmCase(uint64_t seed) {
     c.perturb_seed = seed * 31 + 7;
     c.max_jitter_us =
         rng.NextBool(0.5) ? static_cast<SimTime>(rng.NextBounded(301)) : 0;
+  }
+  // A third of the swarm mixes in multi-item atomic sets, so transfers and
+  // orders meet crashes, partitions and loss with the cross-item oracles
+  // live. Drawn last: pre-existing draws keep their stream positions.
+  if (rng.NextBool(0.33)) {
+    if (w.items < 2) w.items = 2;
+    w.transfer_permille = 50 + static_cast<uint32_t>(rng.NextBounded(301));
+    w.order_permille =
+        rng.NextBool(0.5) ? static_cast<uint32_t>(rng.NextBounded(201)) : 0;
   }
   PlanSpec ps;
   ps.num_sites = w.sites;

@@ -61,6 +61,12 @@ struct WorkloadSpec {
   uint32_t surplus_hints = 0;
   /// Background rebalancer (0/1; only meaningful with surplus_hints).
   uint32_t rebalance = 0;
+  /// Share of submissions that are two-item atomic transfers (decrement one
+  /// Zipf-ish item, increment another, one timestamp, zero-sum). Needs
+  /// items >= 2; ignored otherwise.
+  uint32_t transfer_permille = 0;
+  /// Share that are two-item "order" atomic sets (stock down, revenue up).
+  uint32_t order_permille = 0;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };

@@ -237,6 +237,13 @@ Status CheckInvariants(const system::Cluster& cluster,
     Status s = CheckExactlyOnce(storages);
     if (!s.ok()) return s;
   }
+  if (opts.atomic_commits) {
+    Status s = verify::CheckAtomicSetCommits(storages);
+    if (!s.ok()) return s;
+    std::vector<ItemId> all = cluster.catalog().AllItems();
+    s = verify::AuditGroup(storages, cluster.catalog(), all);
+    if (!s.ok()) return s;
+  }
   if (opts.wal_prefix) {
     for (const wal::StableStorage* storage : storages) {
       Status s = CheckWalPrefixes(*storage, cluster.catalog(),

@@ -39,6 +39,10 @@ struct OracleOptions {
   bool volatile_view = true;
   bool exactly_once = true;
   bool wal_prefix = true;
+  /// Transaction-scoped cross-item conservation: every atomic-set commit
+  /// record is zero-sum, and the sum over the whole item set balances with
+  /// atomic sets excluded (verify::CheckAtomicSetCommits + AuditGroup).
+  bool atomic_commits = true;
   /// WAL-prefix audit is O(suffix²); beyond this many suffix records the
   /// prefixes are strided instead of exhaustive.
   uint64_t wal_prefix_exhaustive_limit = 400;

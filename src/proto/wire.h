@@ -45,10 +45,17 @@ struct RequestMsg final : public net::Envelope {
   /// Set by surplus-directed origins: a recipient that cannot ship anything
   /// answers with a SurplusNackMsg so the origin's hint cache self-corrects.
   bool want_surplus_nack = false;
+  /// The requesting transaction is a multi-item atomic set: its parts gather
+  /// several items under one timestamp. Advisory today (recipients count it
+  /// for observability); carried on the wire so recipients could prioritise
+  /// or co-grant. Encoded as a bit of the same flags byte as
+  /// want_surplus_nack — the frame layout and EncodedSize are unchanged.
+  bool atomic_set = false;
 
   std::string_view Tag() const override { return "Request"; }
   size_t EncodedSize() const override {
-    // txn, ts, origin, round, flag + one (item, amount, flag) per part.
+    // txn, ts, origin, round, flags (want_surplus_nack bit 0, atomic_set
+    // bit 1) + one (item, amount, flag) per part.
     return net::kEnvelopeHeaderBytes + 8 + 8 + 4 + 4 + 1 + parts.size() * 13;
   }
 };

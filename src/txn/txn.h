@@ -45,7 +45,23 @@ struct TxnSpec {
   std::vector<TxnOp> ops;
   /// Free-form label for traces and per-class metrics (e.g. "reserve").
   std::string label;
+  /// Multi-item ACID unit: the ops form one atomic cross-item write whose
+  /// increments and decrements cancel (Σ amounts is zero-sum), e.g. a
+  /// transfer moving value between two items. Such a spec must have ≥ 2
+  /// write ops, no reads, and is validated at Begin; its locks are acquired
+  /// in global ascending item-id order and its commit record is tagged so
+  /// auditors can check transaction-scoped cross-item conservation.
+  bool atomic_set = false;
 };
+
+/// transfer(from → to, amount): one atomic unit moving `amount` from item
+/// `from` to item `to`. Conserves the sum over {from, to}.
+TxnSpec MakeTransfer(ItemId from, ItemId to, core::Value amount);
+
+/// order(stock, revenue, qty): decrement `qty` units of stock and record the
+/// same quantity as revenue, atomically. (The paper's partitionable-op model
+/// carries quantities, not prices, so revenue is counted in units.)
+TxnSpec MakeOrder(ItemId stock, ItemId revenue, core::Value qty);
 
 /// Why a transaction ended the way it did.
 enum class TxnOutcome {

@@ -28,6 +28,22 @@ std::string_view TxnOutcomeName(TxnOutcome outcome) {
   return "unknown";
 }
 
+TxnSpec MakeTransfer(ItemId from, ItemId to, core::Value amount) {
+  TxnSpec spec;
+  spec.ops = {TxnOp::Decrement(from, amount), TxnOp::Increment(to, amount)};
+  spec.label = "transfer";
+  spec.atomic_set = true;
+  return spec;
+}
+
+TxnSpec MakeOrder(ItemId stock, ItemId revenue, core::Value qty) {
+  TxnSpec spec;
+  spec.ops = {TxnOp::Decrement(stock, qty), TxnOp::Increment(revenue, qty)};
+  spec.label = "order";
+  spec.atomic_set = true;
+  return spec;
+}
+
 TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
                        wal::GroupCommitLog* log, core::ValueStore* store,
                        cc::LockManager* locks, vm::VmManager* vm,
@@ -65,6 +81,10 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
       m_gather_directed_(obs::CounterIn(metrics, "placement.gather.directed")),
       m_gather_fallback_(obs::CounterIn(metrics, "placement.gather.fallback")),
       m_surplus_nack_(obs::CounterIn(metrics, "req.surplus_nack")),
+      m_multiop_committed_(obs::CounterIn(metrics, "txn.multiop.committed")),
+      m_multiop_aborted_(obs::CounterIn(metrics, "txn.multiop.aborted")),
+      m_multiop_return_(obs::CounterIn(metrics, "txn.multiop.return_sends")),
+      m_req_multiop_(obs::CounterIn(metrics, "req.multiop")),
       h_rounds_(metrics ? metrics->histogram("txn.rounds") : nullptr) {
   for (int o = 0; o <= static_cast<int>(TxnOutcome::kAbortInvalid); ++o) {
     std::string name =
@@ -84,6 +104,7 @@ void TxnManager::NoteOutcome(TxnId id, TxnOutcome outcome) {
 
 void TxnManager::NoteCommitted(const PendingTxn& t) {
   if (t.rounds == 0) m_local_commit_->Inc();
+  if (t.spec.atomic_set) m_multiop_committed_->Inc();
   if (h_rounds_) h_rounds_->Add(static_cast<double>(t.rounds));
 }
 
@@ -124,6 +145,27 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
     items.push_back(op.item);
   }
 
+  // An atomic set is one cross-item ACID unit: at least two write ops whose
+  // increments and decrements cancel. Reads are excluded (a read is not a
+  // transfer of value) and the zero-sum rule is what makes the cross-item
+  // conservation oracle checkable per commit record.
+  if (spec.atomic_set) {
+    if (spec.ops.size() < 2) {
+      return fail_fast(TxnOutcome::kAbortInvalid, "atomic set needs >= 2 ops");
+    }
+    core::Value net = 0;
+    for (const TxnOp& op : spec.ops) {
+      if (op.kind == TxnOp::Kind::kReadFull) {
+        return fail_fast(TxnOutcome::kAbortInvalid,
+                         "atomic set cannot contain reads");
+      }
+      net += op.kind == TxnOp::Kind::kIncrement ? op.amount : -op.amount;
+    }
+    if (net != 0) {
+      return fail_fast(TxnOutcome::kAbortInvalid, "atomic set not zero-sum");
+    }
+  }
+
   // §5 step 1: atomically lock every local fragment in A(t). The pessimism
   // of the scheme: any conflict aborts immediately rather than waiting.
   for (ItemId item : items) {
@@ -136,7 +178,13 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
                        "Conc1 timestamp rule: item " + item.ToString());
     }
   }
-  bool locked = locks_->TryLockAll(items, id);
+  // Multi-item sets walk the lock table in global ascending item-id order —
+  // the deadlock-free total order every site agrees on. With try-locks the
+  // order cannot cause a wait cycle anyway; keeping it canonical means the
+  // invariant also survives any future scheme that retries instead of
+  // aborting, and lets tests assert the order directly.
+  bool locked = items.size() > 1 ? locks_->TryLockAllOrdered(items, id)
+                                 : locks_->TryLockAll(items, id);
   assert(locked);
   (void)locked;
   if (policy_.StampOnLock()) {
@@ -205,7 +253,14 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   ArmReadRetry(ref);
   ArmGatherRetry(ref);
   TxnId timeout_id = id;
-  SimTime timeout_us = options_.timeout_us * timeout_skew_permille_ / 1000;
+  SimTime base_timeout = options_.timeout_us;
+  if (spec.atomic_set && options_.multiop_timeout_us > 0) {
+    // Abort-on-cycle-risk: a multi-op parks locks on several items while it
+    // gathers; a shorter window bounds how long opposing multi-ops can
+    // mutually starve before one of them backs off.
+    base_timeout = std::min(base_timeout, options_.multiop_timeout_us);
+  }
+  SimTime timeout_us = base_timeout * timeout_skew_permille_ / 1000;
   ref.timeout = kernel_->Schedule(timeout_us, [this, timeout_id]() {
     auto it = pending_.find(timeout_id);
     if (it == pending_.end()) return;
@@ -266,6 +321,7 @@ void TxnManager::SendRequests(PendingTxn& t,
     msg->ts_packed = t.ts.packed();
     msg->origin = self_;
     msg->round = round;
+    msg->atomic_set = t.spec.atomic_set;
     msg->trace_id = t.id.value();
     return msg;
   };
@@ -415,6 +471,7 @@ void TxnManager::OnRequest(SiteId from, const proto::RequestMsg& msg) {
   (void)from;
   clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
   Timestamp req_ts = Timestamp::FromPacked(msg.ts_packed);
+  if (msg.atomic_set) m_req_multiop_->Inc();
 
   for (const proto::RequestPart& part : msg.parts) {
     m_req_received_->Inc();
@@ -502,7 +559,21 @@ bool TxnManager::RouteVmTransfer(SiteId from, const proto::VmTransferMsg& msg) {
   // ("it will eventually be sent again anyway") and are merged by the
   // unlocked Rds path after this transaction ends.
   if (msg.for_txn != t.id) return false;
-  vm_->AcceptForTxn(msg);
+  core::Value credited = vm_->AcceptForTxn(msg);
+  if (t.spec.atomic_set && credited > 0 && !msg.is_read_reply) {
+    // Remember where each partial gather came from: an abort must return it
+    // all via ordinary Rds sends, or the abandoned value piles up here and
+    // the item pair drifts from its surplus-directed placement.
+    bool merged = false;
+    for (AbsorbedCredit& a : t.absorbed) {
+      if (a.src == msg.src && a.item == msg.item) {
+        a.amount += credited;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) t.absorbed.push_back({msg.src, msg.item, credited});
+  }
   if (placement_ && !msg.is_read_reply) {
     // The granting site's advertised surplus shrank by at least the shipped
     // amount; correct the cache without waiting for its next hint.
@@ -538,8 +609,17 @@ void TxnManager::HandleReadReply(PendingTxn& t,
   // between two rounds can evade the acceptor's comparison (its second
   // reply may precede the acceptance), but never the creator's — the
   // creator cannot reply while its outbox still holds the Vm.
+  //
+  // The same outstanding-Vm rule must hold at the reader's OWN site: a Vm
+  // for the item created here before the read began (a gather grant, or a
+  // multi-op abort returning its partial gathers) holds value that is in no
+  // remote fragment and no remote outbox — invisible to every probe above —
+  // until it lands. A remote site would refuse our rounds in this state
+  // (§5); the local outbox is checked directly, and termination waits until
+  // the in-flight value surfaces in some later round's counters.
   bool all_zero = !rs.this_round_nonzero;
-  if (all_zero && rs.prev_round_all_zero && rs.counters == rs.prev_counters) {
+  if (all_zero && rs.prev_round_all_zero && rs.counters == rs.prev_counters &&
+      !vm_->HasOutstandingFor(msg.item)) {
     rs.done = true;
     return;
   }
@@ -684,6 +764,7 @@ void TxnManager::Commit(PendingTxn& t) {
   wal::TxnCommitRec rec;
   rec.txn = t.id;
   rec.ts_packed = t.ts.packed();
+  rec.atomic_set = t.spec.atomic_set;
 
   TxnResult result;
   result.id = t.id;
@@ -787,6 +868,25 @@ void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
   t.timeout.Cancel();
   t.read_retry.Cancel();
   t.gather_retry.Cancel();
+
+  // A multi-op that gathered part of its item set returns every partial
+  // gather to its source as an ordinary Rds send — still conservation-
+  // preserving (a Vm either lands or stays live), it just undoes the
+  // placement skew an abandoned gather would leave behind. The locks are
+  // already dropped, so the fragment is free to ship from. Clamp to what the
+  // domain lets the fragment ship right now: concurrent acceptances may have
+  // been consumed by value we legitimately still hold.
+  if (t.spec.atomic_set) {
+    m_multiop_aborted_->Inc();
+    for (const AbsorbedCredit& a : t.absorbed) {
+      const core::Domain& domain = store_->catalog().domain(a.item);
+      core::Value ship =
+          std::min(a.amount, domain.MaxShippable(store_->value(a.item)));
+      if (ship <= 0) continue;
+      vm_->CreateVm(a.src, a.item, ship, TxnId::Invalid());
+      m_multiop_return_->Inc();
+    }
+  }
   NoteOutcome(t.id, outcome);
 
   TxnResult result;
@@ -867,6 +967,10 @@ void TxnManager::CrashAbortAll() {
     } else {
       result.outcome = TxnOutcome::kAbortSiteFailure;
       result.status = Status::Unavailable("site crashed");
+      // No return sends here: the crash drops all volatile state, and the
+      // absorbed value is exactly what the durable log says this site holds
+      // — recovery and the conservation audit account for it in place.
+      if (t->spec.atomic_set) m_multiop_aborted_->Inc();
     }
     NoteOutcome(t->id, result.outcome);
     result.latency_us = kernel_->Now() - t->start_time;

@@ -83,6 +83,13 @@ struct TxnManagerOptions {
   /// Conc1 acceptance-stamp policy (see cc::AcceptStampMode); ignored under
   /// Conc2.
   cc::AcceptStampMode accept_stamp = cc::AcceptStampMode::kCreationTs;
+  /// Abort-on-cycle-risk timeout for multi-item atomic sets: when > 0, an
+  /// atomic_set transaction arms min(timeout_us, multiop_timeout_us) instead
+  /// of the full window. Multi-ops hold several locks at once, so giving up
+  /// earlier bounds the time their lock footprint can starve opposing
+  /// multi-ops (the try-lock scheme never deadlocks; this caps livelock).
+  /// 0 = same timeout as single-item transactions.
+  SimTime multiop_timeout_us = 0;
 };
 
 class TxnManager {
@@ -141,6 +148,12 @@ class TxnManager {
   uint32_t timeout_skew_permille() const { return timeout_skew_permille_; }
 
  private:
+  struct AbsorbedCredit {
+    SiteId src;
+    ItemId item;
+    core::Value amount = 0;
+  };
+
   struct ReadState {
     uint32_t round = 1;
     /// Replies this round: src → (accept_count, create_count) at reply time.
@@ -171,6 +184,10 @@ class TxnManager {
     uint32_t rounds = 0;
     bool committed = false;
     bool commit_scheduled = false;
+    /// Value this transaction absorbed mid-gather, per (src, item) — tracked
+    /// only for atomic_set specs so an abort can return every partial gather
+    /// to where it came from via ordinary Rds sends.
+    std::vector<AbsorbedCredit> absorbed;
   };
 
   void SendRequests(PendingTxn& t,
@@ -227,6 +244,12 @@ class TxnManager {
   obs::Counter* m_gather_directed_;
   obs::Counter* m_gather_fallback_;
   obs::Counter* m_surplus_nack_;
+  /// Multi-item atomic-set counters. They only move on multiop code paths,
+  /// so workloads without atomic sets keep byte-identical counter sets.
+  obs::Counter* m_multiop_committed_;
+  obs::Counter* m_multiop_aborted_;
+  obs::Counter* m_multiop_return_;
+  obs::Counter* m_req_multiop_;
   /// Gather rounds per committed transaction; null without a registry.
   Histogram* h_rounds_ = nullptr;
 

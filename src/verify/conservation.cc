@@ -175,4 +175,109 @@ Status AuditAllBulk(std::span<const wal::StableStorage* const> storages,
   return Status::OK();
 }
 
+Status CheckAtomicSetCommits(
+    std::span<const wal::StableStorage* const> storages) {
+  Status violation = Status::OK();
+  for (const wal::StableStorage* storage : storages) {
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, storage->log_size(),
+        [&](Lsn, const wal::LogRecord& rec) {
+          if (!violation.ok()) return;
+          const auto* t = std::get_if<wal::TxnCommitRec>(&rec);
+          if (t == nullptr || !t->atomic_set) return;
+          if (t->writes.size() < 2) {
+            violation = Status::Internal(
+                "atomic-set commit txn " + std::to_string(t->txn.value()) +
+                " at site " + storage->site().ToString() + " has " +
+                std::to_string(t->writes.size()) + " write(s), need >= 2");
+            return;
+          }
+          core::Value net = 0;
+          for (const auto& w : t->writes) net += w.delta;
+          if (net != 0) {
+            violation = Status::Internal(
+                "atomic-set commit txn " + std::to_string(t->txn.value()) +
+                " at site " + storage->site().ToString() +
+                " is not zero-sum: net delta " + std::to_string(net));
+          }
+        },
+        &ignored);
+    if (!violation.ok()) return violation;
+  }
+  return violation;
+}
+
+Status AuditGroup(std::span<const wal::StableStorage* const> storages,
+                  const core::Catalog& catalog,
+                  std::span<const ItemId> group) {
+  std::set<uint32_t> members;
+  for (ItemId item : group) members.insert(item.value());
+
+  struct LiveVm {
+    core::Value amount = 0;
+    ItemId item;
+  };
+  core::Value fragments = 0;
+  core::Value expected_delta = 0;
+  std::map<VmId, LiveVm> created;
+  std::set<VmId> accepted;
+
+  for (const wal::StableStorage* storage : storages) {
+    core::ValueStore scratch(&catalog);
+    recovery::RecoveryReport report;
+    Status s = recovery::RebuildStore(*storage, &scratch, &report);
+    if (!s.ok()) continue;  // unreadable image: fragment contributes nothing
+    for (const auto& [item, frag] : scratch.resident_fragments()) {
+      if (members.contains(item)) fragments += frag.value;
+    }
+    uint64_t ignored = 0;
+    (void)storage->ScanPrefix(
+        0, storage->log_size(),
+        [&](Lsn lsn, const wal::LogRecord& rec) {
+          if (lsn.value() >= report.valid_prefix) return;  // durable view
+          if (const auto* c = std::get_if<wal::VmCreateRec>(&rec)) {
+            if (members.contains(c->item.value())) {
+              created[c->vm] = LiveVm{c->amount, c->item};
+            }
+          } else if (const auto* a = std::get_if<wal::VmAcceptRec>(&rec)) {
+            accepted.insert(a->vm);
+          } else if (const auto* t = std::get_if<wal::TxnCommitRec>(&rec)) {
+            bool fully_inside = t->atomic_set;
+            if (t->atomic_set) {
+              for (const auto& w : t->writes) {
+                if (!members.contains(w.item.value())) fully_inside = false;
+              }
+            }
+            // Atomic sets wholly inside the group are excluded: their legs
+            // must cancel, so counting them would mask a minting record.
+            if (fully_inside) return;
+            for (const auto& w : t->writes) {
+              if (members.contains(w.item.value())) expected_delta += w.delta;
+            }
+          }
+        },
+        &ignored);
+  }
+
+  core::Value in_flight = 0;
+  for (const auto& [vm, live_vm] : created) {
+    if (!accepted.contains(vm)) in_flight += live_vm.amount;
+  }
+
+  core::Value initial = 0;
+  for (ItemId item : group) initial += catalog.info(item).initial_total;
+  core::Value expect = initial + expected_delta;
+  if (fragments + in_flight != expect) {
+    return Status::Internal(
+        "cross-item conservation violated for group of " +
+        std::to_string(group.size()) +
+        " items: fragments=" + std::to_string(fragments) +
+        " in_flight=" + std::to_string(in_flight) +
+        " non-atomic delta=" + std::to_string(expected_delta) +
+        " expected=" + std::to_string(expect));
+  }
+  return Status::OK();
+}
+
 }  // namespace dvp::verify

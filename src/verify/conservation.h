@@ -87,4 +87,24 @@ Status AuditAll(std::span<const wal::StableStorage* const> storages,
 Status AuditAllBulk(std::span<const wal::StableStorage* const> storages,
                     const core::Catalog& catalog);
 
+/// Transaction-scoped cross-item conservation, part 1: every commit record
+/// flagged atomic_set must carry at least two writes whose deltas sum to
+/// zero — a transfer moves value between items, it never mints or destroys
+/// it. Scans the FULL appended log of every site (an atomic record is one
+/// append; there is no torn half to excuse), so a doctored record is caught
+/// even while it sits in the unforced group-commit tail.
+Status CheckAtomicSetCommits(
+    std::span<const wal::StableStorage* const> storages);
+
+/// Transaction-scoped cross-item conservation, part 2: the conservation sum
+/// over a *group* of items. Writes of atomic-set records whose item set lies
+/// entirely inside the group are excluded from the expected delta — they are
+/// supposed to cancel — so a non-zero-sum atomic record shows up as a group
+/// imbalance even though every per-item audit (which counts its legs
+/// individually) still balances. Atomic records straddling the group edge
+/// contribute their in-group legs like ordinary writes. Durable view.
+Status AuditGroup(std::span<const wal::StableStorage* const> storages,
+                  const core::Catalog& catalog,
+                  std::span<const ItemId> group);
+
 }  // namespace dvp::verify

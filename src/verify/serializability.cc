@@ -27,15 +27,26 @@ void HistoryChecker::RecordCommitAt(SimTime now_us, TxnId id,
 
 namespace {
 
-// Can `target` be formed as a sum of a subset of `deltas`? Sizes are small
-// (a read's overlap window); breadth-first over achievable sums.
-bool SubsetSumReachable(const std::vector<core::Value>& deltas,
-                        core::Value target) {
-  std::set<core::Value> reachable{0};
-  for (core::Value d : deltas) {
+// Can `target` (one sum per read item) be formed by choosing a subset of the
+// window *transactions*, where a chosen transaction contributes its delta
+// vector to every read item at once? Transactions — not individual deltas —
+// are the unit of choice: a reader that drained two items cannot see half of
+// an atomic transfer, and validating each item's sum independently would
+// accept exactly that inconsistent view (the missed cross-item edge).
+// Breadth-first over achievable vectors; windows are small.
+bool SubsetSumReachableJoint(
+    const std::vector<std::vector<core::Value>>& deltas,
+    const std::vector<core::Value>& target) {
+  std::set<std::vector<core::Value>> reachable;
+  reachable.insert(std::vector<core::Value>(target.size(), 0));
+  for (const std::vector<core::Value>& d : deltas) {
     if (reachable.contains(target)) return true;
-    std::set<core::Value> next = reachable;
-    for (core::Value v : reachable) next.insert(v + d);
+    std::set<std::vector<core::Value>> next = reachable;
+    for (const std::vector<core::Value>& v : reachable) {
+      std::vector<core::Value> sum = v;
+      for (size_t i = 0; i < sum.size(); ++i) sum[i] += d[i];
+      next.insert(std::move(sum));
+    }
     reachable = std::move(next);
     if (reachable.size() > 200'000) return true;  // give up: assume ok
   }
@@ -73,6 +84,25 @@ Status HistoryChecker::Check(
              " op=" + std::to_string(static_cast<int>(op.kind)) + " item=" +
              catalog_->info(op.item).name;
     };
+    if (c->spec.atomic_set) {
+      // The replay enforces the atomic-set contract too: a committed
+      // transfer/order whose legs do not cancel is a history no correct
+      // execution could have produced.
+      core::Value net = 0;
+      for (const txn::TxnOp& op : c->spec.ops) {
+        net += op.kind == txn::TxnOp::Kind::kIncrement ? op.amount
+                                                       : -op.amount;
+      }
+      if (net != 0) {
+        return Status::Internal(
+            "serial replay: committed atomic set not zero-sum; txn ts=" +
+            Timestamp::FromPacked(c->id.value()).ToString() +
+            " net=" + std::to_string(net));
+      }
+    }
+    // Items this transaction read, in spec order; under kCommitOrder their
+    // validation is deferred to one joint windowed check below.
+    std::vector<ItemId> read_items;
     for (const txn::TxnOp& op : c->spec.ops) {
       core::Value& total = totals[op.item];
       switch (op.kind) {
@@ -103,39 +133,56 @@ Status HistoryChecker::Check(
             }
             break;
           }
-          // Windowed view check (kCommitOrder): the read serialised at its
-          // drain points, somewhere inside [start, commit]. Updates that
-          // committed before it started were necessarily drained; updates
-          // that committed during the window may or may not have been.
-          core::Value must = catalog_->info(op.item).initial_total;
-          std::vector<core::Value> optional;
-          for (const auto& other : history_) {
-            if (&other == c) continue;
-            for (const txn::TxnOp& oop : other.spec.ops) {
-              if (oop.item != op.item ||
-                  oop.kind == txn::TxnOp::Kind::kReadFull) {
-                continue;
-              }
-              core::Value delta = oop.kind == txn::TxnOp::Kind::kIncrement
-                                      ? oop.amount
-                                      : -oop.amount;
-              if (other.commit_us <= c->start_us) {
-                must += delta;
-              } else if (other.commit_us <= c->commit_us) {
-                optional.push_back(delta);
-              }
-            }
-          }
-          if (!SubsetSumReachable(optional, it->second - must)) {
-            return Status::Internal(
-                "windowed read check: observed " + std::to_string(it->second) +
-                " unreachable from must=" + std::to_string(must) + " with " +
-                std::to_string(optional.size()) + " window deltas; " +
-                describe(op));
-          }
+          read_items.push_back(op.item);
           break;
         }
       }
+    }
+    if (read_items.empty()) continue;
+
+    // Windowed view check (kCommitOrder): each read serialised at its drain
+    // points, somewhere inside [start, commit]. Updates that committed
+    // before the transaction started were necessarily drained; updates that
+    // committed during the window may or may not have been — but per whole
+    // TRANSACTION, not per item. A window transaction is either visible to
+    // all of this transaction's reads or to none of them; choosing per item
+    // would accept a reader that saw only one leg of an atomic transfer.
+    std::vector<core::Value> must(read_items.size());
+    std::vector<core::Value> target(read_items.size());
+    for (size_t i = 0; i < read_items.size(); ++i) {
+      must[i] = catalog_->info(read_items[i]).initial_total;
+      target[i] = c->read_values.at(read_items[i]);
+    }
+    std::vector<std::vector<core::Value>> optional;
+    for (const auto& other : history_) {
+      if (&other == c) continue;
+      std::vector<core::Value> contrib(read_items.size(), 0);
+      bool touches = false;
+      for (const txn::TxnOp& oop : other.spec.ops) {
+        if (oop.kind == txn::TxnOp::Kind::kReadFull) continue;
+        for (size_t i = 0; i < read_items.size(); ++i) {
+          if (oop.item != read_items[i]) continue;
+          contrib[i] += oop.kind == txn::TxnOp::Kind::kIncrement
+                            ? oop.amount
+                            : -oop.amount;
+          touches = true;
+        }
+      }
+      if (!touches) continue;
+      if (other.commit_us <= c->start_us) {
+        for (size_t i = 0; i < read_items.size(); ++i) must[i] += contrib[i];
+      } else if (other.commit_us <= c->commit_us) {
+        optional.push_back(std::move(contrib));
+      }
+    }
+    for (size_t i = 0; i < read_items.size(); ++i) target[i] -= must[i];
+    if (!SubsetSumReachableJoint(optional, target)) {
+      return Status::Internal(
+          "windowed read check: txn ts=" +
+          Timestamp::FromPacked(c->id.value()).ToString() + " observed " +
+          std::to_string(read_items.size()) +
+          " read(s) jointly unreachable with " +
+          std::to_string(optional.size()) + " window transactions");
     }
   }
 

@@ -42,6 +42,9 @@ struct Encoder {
     PutVarint64(out, r.ts_packed);
     PutVarint64(out, r.writes.size());
     for (const auto& w : r.writes) EncodeFragmentWrite(out, w);
+    // Optional trailing flag: only atomic-set records carry it, keeping the
+    // legacy encoding byte-identical for everything else.
+    if (r.atomic_set) PutVarint64(out, 1);
   }
   void operator()(const TxnAppliedRec& r) {
     out->push_back(static_cast<char>(kTxnApplied));
@@ -139,6 +142,16 @@ StatusOr<LogRecord> DecodeRecord(std::string_view data) {
       for (auto& w : r.writes) {
         if (!DecodeFragmentWrite(&d, &w)) return bad();
       }
+      // Optional atomic-set flag. Anything other than exactly one trailing
+      // varint with value 1 — a zero flag, garbage after it — is a malformed
+      // frame and is rejected, never silently accepted.
+      if (!d.empty()) {
+        uint64_t flag;
+        if (!d.GetVarint64(&flag) || flag != 1 || !d.empty()) {
+          return Status::Corruption("bad atomic-set trailer");
+        }
+        r.atomic_set = true;
+      }
       return LogRecord(std::move(r));
     }
     case kTxnApplied: {
@@ -223,7 +236,7 @@ struct Printer {
   std::ostringstream& os;
   void operator()(const TxnCommitRec& r) {
     os << "TxnCommit{txn=" << r.txn.value() << " writes=" << r.writes.size()
-       << "}";
+       << (r.atomic_set ? " atomic}" : "}");
   }
   void operator()(const TxnAppliedRec& r) {
     os << "TxnApplied{txn=" << r.txn.value() << "}";

@@ -36,6 +36,12 @@ struct TxnCommitRec {
   TxnId txn;
   uint64_t ts_packed = 0;
   std::vector<FragmentWrite> writes;
+  /// The writes form one multi-item atomic set whose deltas cancel (a
+  /// transfer/order). Auditors check Σ delta == 0 per such record — the
+  /// transaction-scoped cross-item conservation invariant. Encoded as an
+  /// optional trailing flag only when set, so every pre-existing commit
+  /// record keeps its byte-identical encoding.
+  bool atomic_set = false;
 
   friend bool operator==(const TxnCommitRec&, const TxnCommitRec&) = default;
 };

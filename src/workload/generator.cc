@@ -30,19 +30,31 @@ SiteId WorkloadDriver::PickSite(Rng& rng, const txn::TxnSpec& spec) {
 txn::TxnSpec WorkloadDriver::MakeSpec(Rng& rng) {
   txn::TxnSpec spec;
   ItemId item = items_[item_zipf_.Next(rng)];
+  double multi =
+      items_.size() >= 2 ? options_.p_transfer + options_.p_order : 0.0;
   double total =
-      options_.p_decrement + options_.p_increment + options_.p_read;
+      options_.p_decrement + options_.p_increment + options_.p_read + multi;
   double r = rng.NextDouble() * total;
   core::Value amount = rng.NextInt(options_.amount_min, options_.amount_max);
+  double single =
+      options_.p_decrement + options_.p_increment + options_.p_read;
   if (r < options_.p_decrement) {
     spec.ops = {txn::TxnOp::Decrement(item, amount)};
     spec.label = "decrement";
   } else if (r < options_.p_decrement + options_.p_increment) {
     spec.ops = {txn::TxnOp::Increment(item, amount)};
     spec.label = "increment";
-  } else {
+  } else if (r < single) {
     spec.ops = {txn::TxnOp::ReadFull(item)};
     spec.label = "read";
+  } else {
+    // Multi-item classes: the second item comes from the same Zipf draw, so
+    // hot-item pairs collide exactly as the skew dictates. These extra draws
+    // only happen here — a mix with both knobs at 0 never reaches them.
+    ItemId other = item;
+    while (other == item) other = items_[item_zipf_.Next(rng)];
+    spec = r < single + options_.p_transfer ? txn::MakeTransfer(item, other, amount)
+                                            : txn::MakeOrder(item, other, amount);
   }
   return spec;
 }

@@ -23,6 +23,14 @@ struct WorkloadOptions {
   double p_decrement = 0.70;  ///< reserve / withdraw / allocate
   double p_increment = 0.25;  ///< cancel / deposit / restock
   double p_read = 0.05;       ///< full read of the item value
+  /// Multi-item atomic sets (0 = none, the seed mix). A transfer moves the
+  /// drawn amount between two Zipf-drawn distinct items; an order decrements
+  /// stock and books the same quantity as revenue. Both need >= 2 items in
+  /// the catalog — with fewer they are excluded from the mix. The extra RNG
+  /// draws (second item) happen only when a multi-item class is actually
+  /// drawn, so runs with these knobs at 0 keep the seed's exact RNG stream.
+  double p_transfer = 0.0;
+  double p_order = 0.0;
   /// Amount drawn uniformly from [amount_min, amount_max].
   core::Value amount_min = 1;
   core::Value amount_max = 5;

@@ -111,6 +111,110 @@ TEST_P(DecoderFuzzTest, EncodingPrimitivesFuzzedCursor) {
   SUCCEED();
 }
 
+TEST_P(DecoderFuzzTest, AtomicSetRecordsRoundTrip) {
+  Rng rng(GetParam() + 4'242);
+  for (int trial = 0; trial < 500; ++trial) {
+    TxnCommitRec rec;
+    rec.txn = TxnId(rng.NextU64() >> 1);
+    rec.ts_packed = rng.NextU64() >> 1;
+    size_t n = 2 + rng.NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      rec.writes.push_back(FragmentWrite{
+          ItemId(uint32_t(rng.NextBounded(1 << 20))),
+          rng.NextInt(-1'000'000, 1'000'000), rng.NextInt(-1'000, 1'000),
+          rng.NextU64() >> 1});
+    }
+    rec.atomic_set = rng.NextBounded(2) == 1;
+    auto decoded = DecodeRecord(EncodeRecord(LogRecord(rec)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<TxnCommitRec>(decoded.value()), rec);
+  }
+}
+
+// ---- Atomic-set trailer: malformed frames must be REJECTED, never UB ----------
+//
+// The trailer is one optional varint that must be exactly 1. These tests
+// doctor the body and re-stamp a VALID checksum, so rejection has to come
+// from content validation, not from the CRC.
+
+std::string WithFreshCrc(const std::string& body) {
+  std::string out;
+  PutFixed32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+std::string CommitBody(uint64_t txn, uint64_t ts) {
+  std::string body;
+  body.push_back(1);  // RecordType kTxnCommit
+  PutVarint64(&body, txn);
+  PutVarint64(&body, ts);
+  PutVarint64(&body, 0);  // no writes
+  return body;
+}
+
+TEST(AtomicTrailerTest, AbsentTrailerDecodesAsLegacyRecord) {
+  auto decoded = DecodeRecord(WithFreshCrc(CommitBody(9, 40)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(std::get<TxnCommitRec>(decoded.value()).atomic_set);
+}
+
+TEST(AtomicTrailerTest, FlagOneDecodesAsAtomicSet) {
+  std::string body = CommitBody(9, 40);
+  PutVarint64(&body, 1);
+  auto decoded = DecodeRecord(WithFreshCrc(body));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::get<TxnCommitRec>(decoded.value()).atomic_set);
+}
+
+TEST(AtomicTrailerTest, ZeroFlagIsRejected) {
+  // A writer never emits flag=0 (absence IS false); a zero here means the
+  // frame was corrupted or forged, and accepting it would silently change
+  // what future encodings of this record look like.
+  std::string body = CommitBody(9, 40);
+  PutVarint64(&body, 0);
+  auto decoded = DecodeRecord(WithFreshCrc(body));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("atomic-set trailer"),
+            std::string::npos);
+}
+
+TEST(AtomicTrailerTest, FlagValuesOtherThanOneAreRejected) {
+  for (uint64_t flag : {2ull, 7ull, 1ull << 40}) {
+    std::string body = CommitBody(9, 40);
+    PutVarint64(&body, flag);
+    auto decoded = DecodeRecord(WithFreshCrc(body));
+    EXPECT_FALSE(decoded.ok()) << "accepted trailer flag " << flag;
+  }
+}
+
+TEST(AtomicTrailerTest, GarbageAfterFlagIsRejected) {
+  std::string body = CommitBody(9, 40);
+  PutVarint64(&body, 1);
+  body.push_back('\x07');  // trailing junk after a well-formed flag
+  auto decoded = DecodeRecord(WithFreshCrc(body));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("atomic-set trailer"),
+            std::string::npos);
+}
+
+TEST(AtomicTrailerTest, TruncationsOfAtomicRecordAreRejected) {
+  TxnCommitRec rec;
+  rec.txn = TxnId(55);
+  rec.ts_packed = 1'234;
+  rec.writes = {FragmentWrite{ItemId(1), 90, -10, 77},
+                FragmentWrite{ItemId(2), 60, 10, 77}};
+  rec.atomic_set = true;
+  std::string encoded = EncodeRecord(LogRecord(rec));
+  // Every proper prefix fails — including the one that drops only the
+  // trailer byte, which the checksum catches before it could silently
+  // decode as a legacy non-atomic record.
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto decoded = DecodeRecord(encoded.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "accepted a record truncated to " << cut;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 

@@ -7,6 +7,7 @@
 #include "net/network.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "proto/wire.h"
 #include "sim/kernel.h"
 
 namespace dvp::net {
@@ -252,6 +253,57 @@ TEST(WireBytesTest, SumsHeaderAckHintsPayloadAndRiders) {
   EXPECT_EQ(WireBytes(p), kPacketHeaderBytes + kAckBytes + 2 * kHintBytes +
                               kEnvelopeHeaderBytes + kSubMsgHeaderBytes +
                               kEnvelopeHeaderBytes);
+}
+
+// The multi-op flag rides bit 1 of the SAME flags byte as want_surplus_nack
+// (bit 0). The frame layout — and therefore every modeled byte the ledger
+// charges — must be identical no matter which flag combination is set: a
+// request's cost is header + 25 fixed + 13 per part, nothing else.
+TEST(WireBytesTest, RequestFlagsShareOneByteAndNeverChangeTheSize) {
+  const size_t fixed = kEnvelopeHeaderBytes + 8 + 8 + 4 + 4 + 1;
+  for (bool surplus : {false, true}) {
+    for (bool atomic : {false, true}) {
+      for (size_t parts : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+        proto::RequestMsg msg;
+        msg.txn = TxnId(7);
+        msg.ts_packed = 99;
+        msg.origin = SiteId(0);
+        msg.want_surplus_nack = surplus;
+        msg.atomic_set = atomic;
+        msg.parts.resize(parts);
+        EXPECT_EQ(msg.EncodedSize(), fixed + parts * 13)
+            << "surplus=" << surplus << " atomic=" << atomic
+            << " parts=" << parts;
+      }
+    }
+  }
+}
+
+// A legacy single-item frame (no flags) costs today exactly what it cost
+// before the atomic-set bit existed — byte-ledger regressions in E12/E13
+// would otherwise masquerade as protocol traffic changes.
+TEST(WireBytesTest, LegacyRequestFrameCostIsPinned) {
+  proto::RequestMsg msg;
+  msg.txn = TxnId(1);
+  msg.parts.resize(1);
+  EXPECT_EQ(msg.EncodedSize(), kEnvelopeHeaderBytes + 25 + 13);
+
+  Packet p;
+  p.src = SiteId(0);
+  p.dst = SiteId(1);
+  p.payload = std::make_shared<proto::RequestMsg>(msg);
+  EXPECT_EQ(WireBytes(p), kPacketHeaderBytes + kEnvelopeHeaderBytes + 38);
+}
+
+// WireSize is computed once and cached; flipping a flag afterwards must not
+// re-cost the envelope (payloads are immutable once sent — the cache is the
+// contract that retransmissions and duplicates charge the original figure).
+TEST(WireBytesTest, WireSizeIsCachedAtFirstUse) {
+  proto::RequestMsg msg;
+  msg.parts.resize(2);
+  const size_t first = msg.WireSize();
+  msg.parts.resize(5);  // mutation after first costing: cache must hold
+  EXPECT_EQ(msg.WireSize(), first);
 }
 
 TEST_F(NetworkTest, ByteCountersFollowPacketCounters) {

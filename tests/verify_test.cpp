@@ -90,6 +90,84 @@ TEST_F(AuditorTest, DetectsDoctoredDuplication) {
   EXPECT_FALSE(cluster_->AuditAll().ok());
 }
 
+// ---- Cross-item conservation oracles -------------------------------------------
+//
+// The transaction-scoped invariants behind E13: every atomic-set commit
+// record zero-sum (CheckAtomicSetCommits), and the group-level sum balancing
+// with atomic records excluded (AuditGroup). Each oracle must also FAIL a
+// doctored log — an oracle that can't reject forgeries proves nothing.
+
+class GroupAuditTest : public ::testing::Test {
+ protected:
+  GroupAuditTest() {
+    a_ = catalog_.AddItem("a", CountDomain::Instance(), 100);
+    b_ = catalog_.AddItem("b", CountDomain::Instance(), 100);
+    system::ClusterOptions opts;
+    opts.num_sites = 2;
+    opts.seed = 5;
+    cluster_ = std::make_unique<system::Cluster>(&catalog_, opts);
+    cluster_->BootstrapEven();
+  }
+
+  wal::TxnCommitRec ForgedAtomic(core::Value delta_a, core::Value delta_b) {
+    // Post values consistent with site 0's even fragments (50/50), so the
+    // per-item audit — which counts atomic legs individually — balances and
+    // only the transaction-scoped oracles can notice.
+    wal::TxnCommitRec rec;
+    rec.txn = TxnId(424242);
+    rec.ts_packed = Timestamp(700, SiteId(0)).packed();
+    rec.atomic_set = true;
+    rec.writes = {wal::FragmentWrite{a_, 50 + delta_a, delta_a, 0},
+                  wal::FragmentWrite{b_, 50 + delta_b, delta_b, 0}};
+    return rec;
+  }
+
+  core::Catalog catalog_;
+  ItemId a_, b_;
+  std::unique_ptr<system::Cluster> cluster_;
+};
+
+TEST_F(GroupAuditTest, CleanClusterPassesBothOracles) {
+  auto storages = cluster_->Storages();
+  EXPECT_TRUE(verify::CheckAtomicSetCommits(storages).ok());
+  std::vector<ItemId> group{a_, b_};
+  EXPECT_TRUE(verify::AuditGroup(storages, catalog_, group).ok());
+}
+
+TEST_F(GroupAuditTest, ZeroSumAtomicRecordPasses) {
+  cluster_->storage(SiteId(0)).Append(wal::LogRecord(ForgedAtomic(-10, 10)));
+  auto storages = cluster_->Storages();
+  EXPECT_TRUE(verify::CheckAtomicSetCommits(storages).ok());
+  std::vector<ItemId> group{a_, b_};
+  EXPECT_TRUE(verify::AuditGroup(storages, catalog_, group).ok());
+}
+
+TEST_F(GroupAuditTest, NonZeroSumAtomicRecordIsRejected) {
+  cluster_->storage(SiteId(0)).Append(wal::LogRecord(ForgedAtomic(-10, 25)));
+  Status s = verify::CheckAtomicSetCommits(cluster_->Storages());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not zero-sum"), std::string::npos);
+}
+
+TEST_F(GroupAuditTest, SingleLegAtomicRecordIsRejected) {
+  wal::TxnCommitRec rec = ForgedAtomic(-10, 25);
+  rec.writes.resize(1);  // an "atomic set" with one leg is a forgery
+  cluster_->storage(SiteId(0)).Append(wal::LogRecord(rec));
+  Status s = verify::CheckAtomicSetCommits(cluster_->Storages());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("need >= 2"), std::string::npos);
+}
+
+TEST_F(GroupAuditTest, GroupAuditCatchesMintingAtomicRecord) {
+  // The minted 15 units hide from every per-item audit (each leg's post
+  // value matches its delta) — only the group sum with atomic records
+  // excluded exposes them.
+  cluster_->storage(SiteId(0)).Append(wal::LogRecord(ForgedAtomic(-10, 25)));
+  std::vector<ItemId> group{a_, b_};
+  Status s = verify::AuditGroup(cluster_->Storages(), catalog_, group);
+  EXPECT_FALSE(s.ok());
+}
+
 // ---- HistoryChecker -------------------------------------------------------------
 
 class CheckerTest : public ::testing::Test {
@@ -213,6 +291,85 @@ TEST_F(CheckerTest, WindowedReadMustIncludePriorCommits) {
   checker.RecordCommitAt(100, Ts(1), Read(), read);
   EXPECT_FALSE(
       checker.Check(HistoryChecker::Order::kCommitOrder, nullptr).ok());
+}
+
+// ---- Multi-item histories -------------------------------------------------------
+
+class MultiItemCheckerTest : public ::testing::Test {
+ protected:
+  MultiItemCheckerTest()
+      : a_(catalog_.AddItem("a", CountDomain::Instance(), 100)),
+        b_(catalog_.AddItem("b", CountDomain::Instance(), 100)) {}
+
+  TxnResult Committed(std::map<ItemId, core::Value> reads = {}) {
+    TxnResult r;
+    r.outcome = txn::TxnOutcome::kCommitted;
+    r.read_values = std::move(reads);
+    return r;
+  }
+
+  TxnSpec ReadBoth() {
+    TxnSpec s;
+    s.ops = {TxnOp::ReadFull(a_), TxnOp::ReadFull(b_)};
+    return s;
+  }
+
+  TxnId Ts(uint64_t counter) {
+    return TxnId(Timestamp(counter, SiteId(0)).packed());
+  }
+
+  core::Catalog catalog_;
+  ItemId a_, b_;
+};
+
+TEST_F(MultiItemCheckerTest, RejectsCommittedAtomicSetThatIsNotZeroSum) {
+  // The replay enforces the atomic-set contract itself: a committed
+  // transfer whose legs do not cancel is a history no correct execution
+  // could have produced, whatever the totals say.
+  HistoryChecker checker(&catalog_);
+  TxnSpec crooked;
+  crooked.ops = {TxnOp::Decrement(a_, 10), TxnOp::Increment(b_, 5)};
+  crooked.atomic_set = true;
+  checker.RecordCommit(Ts(1), crooked, Committed());
+  Status s = checker.Check(HistoryChecker::Order::kTimestamp, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not zero-sum"), std::string::npos);
+}
+
+TEST_F(MultiItemCheckerTest, AcceptsTransferThenConsistentJointRead) {
+  HistoryChecker checker(&catalog_);
+  checker.RecordCommitAt(50, Ts(2), txn::MakeTransfer(a_, b_, 30),
+                         Committed());
+  // Either both legs visible (70, 130) or neither (100, 100) is consistent.
+  for (auto [va, vb] : {std::pair<core::Value, core::Value>{70, 130},
+                        std::pair<core::Value, core::Value>{100, 100}}) {
+    TxnResult read = Committed({{a_, va}, {b_, vb}});
+    read.latency_us = 100;
+    HistoryChecker c2(&catalog_);
+    c2.RecordCommitAt(50, Ts(2), txn::MakeTransfer(a_, b_, 30), Committed());
+    c2.RecordCommitAt(100, Ts(1), ReadBoth(), read);
+    EXPECT_TRUE(c2.Check(HistoryChecker::Order::kCommitOrder, nullptr).ok())
+        << "read (" << va << ", " << vb << ") should be consistent";
+  }
+}
+
+// Pinned regression for the missed cross-item conflict edge: validating each
+// read item's window subset-sum INDEPENDENTLY accepts a reader that saw only
+// one leg of an atomic transfer — per item, {transfer} explains a=70 and {}
+// explains b=100, so a per-item checker passes. The window choice must be
+// per whole transaction (one joint subset), and no joint subset yields
+// (70, 100). This history must FAIL; a checker that passes it would have
+// missed the torn-read anomaly entirely.
+TEST_F(MultiItemCheckerTest, RejectsJointReadThatTearsAnAtomicTransfer) {
+  HistoryChecker checker(&catalog_);
+  TxnResult torn = Committed({{a_, 70}, {b_, 100}});
+  torn.latency_us = 100;
+  checker.RecordCommitAt(50, Ts(2), txn::MakeTransfer(a_, b_, 30),
+                         Committed());
+  checker.RecordCommitAt(100, Ts(1), ReadBoth(), torn);
+  Status s = checker.Check(HistoryChecker::Order::kCommitOrder, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("jointly unreachable"), std::string::npos);
 }
 
 }  // namespace
