@@ -29,6 +29,7 @@ struct Flags {
   uint32_t items = 4;
   int64_t total = 4000;
   double read_mix = 0.0;
+  double snap_mix = 0.0;
   double dec_mix = 0.5;
   double inc_mix = 0.5;
   double loss = 0.0;
@@ -49,7 +50,7 @@ void PrintHelp() {
       "simulate flags (all --key=value):\n"
       "  --sites=N --seed=N --duration-s=S --rate=TXN_PER_S\n"
       "  --items=N --total=V          catalog size / initial value each\n"
-      "  --read-mix=F --dec-mix=F --inc-mix=F\n"
+      "  --read-mix=F --snap-mix=F --dec-mix=F --inc-mix=F\n"
       "  --loss=F --dup=F             per-packet link faults\n"
       "  --site-skew=THETA            Zipf skew of submission sites\n"
       "  --timeout-ms=MS              redistribution timeout\n"
@@ -91,6 +92,8 @@ Flags Parse(int argc, char** argv) {
       f.total = std::stoll(v);
     } else if (ParseFlag(arg, "read-mix", &v)) {
       f.read_mix = std::stod(v);
+    } else if (ParseFlag(arg, "snap-mix", &v)) {
+      f.snap_mix = std::stod(v);
     } else if (ParseFlag(arg, "dec-mix", &v)) {
       f.dec_mix = std::stod(v);
     } else if (ParseFlag(arg, "inc-mix", &v)) {
@@ -204,6 +207,7 @@ int main(int argc, char** argv) {
   workload::WorkloadOptions w;
   w.arrivals_per_sec = flags.rate;
   w.p_read = flags.read_mix;
+  w.p_snapshot = flags.snap_mix;
   w.p_decrement = flags.dec_mix;
   w.p_increment = flags.inc_mix;
   w.site_zipf_theta = flags.site_skew;

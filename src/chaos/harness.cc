@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "dvpcore/catalog.h"
 #include "system/cluster.h"
+#include "verify/serializability.h"
 #include "vm/vm_manager.h"
 #include "wal/record.h"
 
@@ -28,6 +29,7 @@ struct Action {
   uint32_t item = 0;
   int64_t amount = 1;
   bool is_read = false;
+  bool is_snapshot = false;
   bool is_decrement = false;
   /// Multi-item atomic set: item is the decrement leg, item2 the increment.
   Multi multi = kSingle;
@@ -72,6 +74,11 @@ std::vector<Action> PrecomputeWorkload(const ChaosCase& c) {
       if (a.multi == Action::kSingle) {
         a.is_read = rng.NextBounded(1000) < w.read_permille;
         a.is_decrement = rng.NextBool(0.5);
+        // Gated on the knob: seeds with snapshot_permille == 0 draw nothing
+        // extra and keep their exact action stream.
+        if (w.snapshot_permille > 0 && !a.is_read) {
+          a.is_snapshot = rng.NextBounded(1000) < w.snapshot_permille;
+        }
       }
     }
     actions.push_back(a);
@@ -119,7 +126,8 @@ std::string ChaosCase::ToLiteral() const {
          U64(w.group_commit_records) + ", " +
          std::to_string(w.group_commit_delay_us) + ", " + U64(w.coalesce) +
          ", " + U64(w.surplus_hints) + ", " + U64(w.rebalance) + ", " +
-         U64(w.transfer_permille) + ", " + U64(w.order_permille) + "}, ";
+         U64(w.transfer_permille) + ", " + U64(w.order_permille) + ", " +
+         U64(w.snapshot_permille) + "}, ";
   out += plan.ToLiteral() + "}";
   return out;
 }
@@ -200,6 +208,12 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
       2 * c.max_jitter_us + 2 * w.group_commit_delay_us + 1'000;
 
   // ---- Workload ------------------------------------------------------------
+  // With snapshot reads in the mix the run also keeps a committed history:
+  // every committed write plus every committed snapshot read, so the windowed
+  // consistent-cut oracle can reject a torn cut at finalize. Recording is
+  // passive (no kernel events, no RNG), so digests are unaffected.
+  verify::HistoryChecker checker(&catalog);
+  const bool check_cuts = w.snapshot_permille > 0;
   std::vector<Action> actions = PrecomputeWorkload(c);
   SimTime last_submit = actions.empty() ? 0 : actions.back().at;
   for (const Action& a : actions) {
@@ -235,15 +249,38 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
         spec = txn::MakeOrder(item, items[a.item2], a.amount);
       } else if (a.is_read) {
         spec.ops = {txn::TxnOp::ReadFull(item)};
+      } else if (a.is_snapshot) {
+        spec.ops = {txn::TxnOp::ReadSnapshot(item)};
       } else {
         spec.ops = {a.is_decrement ? txn::TxnOp::Decrement(item, a.amount)
                                    : txn::TxnOp::Increment(item, a.amount)};
       }
-      auto ok = cluster.Submit(SiteId(s), spec, [&](const txn::TxnResult& r) {
-        ++result.decided;
-        if (r.committed()) ++result.committed;
-        result.max_latency_us = std::max(result.max_latency_us, r.latency_us);
-      });
+      auto ok = cluster.Submit(
+          SiteId(s), spec, [&, spec](const txn::TxnResult& r) {
+            ++result.decided;
+            if (r.committed()) {
+              ++result.committed;
+              if (check_cuts) {
+                // A crash reports forced-committed transactions with a fresh
+                // result that carries no read values; such a read has no cut
+                // to validate, so it is excluded from the history. Everything
+                // else committed — writes and answered reads — goes in.
+                bool read_lost = false;
+                for (const txn::TxnOp& op : spec.ops) {
+                  if ((op.kind == txn::TxnOp::Kind::kReadFull ||
+                       op.kind == txn::TxnOp::Kind::kReadSnapshot) &&
+                      !r.read_values.contains(op.item)) {
+                    read_lost = true;
+                  }
+                }
+                if (!read_lost) {
+                  checker.RecordCommitAt(cluster.Now(), r.id, spec, r);
+                }
+              }
+            }
+            result.max_latency_us =
+                std::max(result.max_latency_us, r.latency_us);
+          });
       if (ok.ok()) {
         ++result.submitted;
       } else {
@@ -412,6 +449,12 @@ RunResult RunCase(const ChaosCase& c, const RunOptions& opts) {
              " of " + std::to_string(result.submitted) +
              " transactions never decided");
   }
+  if (result.ok && check_cuts) {
+    Status s = checker.CheckSnapshotCuts();
+    if (!s.ok()) {
+      Fail(&result, cluster.Now(), "snapshot cut oracle: " + s.message());
+    }
+  }
   if (result.ok && opts.finalize) {
     for (ItemId item : items) {
       auto b = cluster.Audit(item);
@@ -492,6 +535,12 @@ ChaosCase MakeSwarmCase(uint64_t seed) {
     w.transfer_permille = 50 + static_cast<uint32_t>(rng.NextBounded(301));
     w.order_permille =
         rng.NextBool(0.5) ? static_cast<uint32_t>(rng.NextBounded(201)) : 0;
+  }
+  // A third of the swarm mixes in stamped snapshot reads, so balance
+  // certificates meet loss, dup, partitions and crashes with the windowed
+  // cut oracle live. Drawn last for the same stream-position reason.
+  if (rng.NextBool(0.33)) {
+    w.snapshot_permille = 100 + static_cast<uint32_t>(rng.NextBounded(301));
   }
   PlanSpec ps;
   ps.num_sites = w.sites;

@@ -67,6 +67,12 @@ struct WorkloadSpec {
   uint32_t transfer_permille = 0;
   /// Share that are two-item "order" atomic sets (stock down, revenue up).
   uint32_t order_permille = 0;
+  /// Share of single-item submissions that are stamped snapshot reads
+  /// (ReadMode::kSnapshot — no drain, no locks). At 0 no extra RNG draw is
+  /// consumed, so pre-existing seeds keep their exact action stream. When
+  /// nonzero the run also records committed history and checks every
+  /// snapshot cut against the windowed consistent-cut oracle at finalize.
+  uint32_t snapshot_permille = 0;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };

@@ -1,0 +1,45 @@
+// Shared capped-exponential-backoff arithmetic. The transport's per-peer
+// retransmission schedule and the transaction manager's read-retry rounds
+// both need the same two ingredients: a base interval doubled per attempt up
+// to a cap, and a deterministic jitter that spreads simultaneous retriers
+// without consuming any RNG stream (runs must stay a pure function of seed
+// and schedule). Keeping the arithmetic here keeps the two schedules
+// provably identical in shape and lets tests pin it once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dvp::net::backoff {
+
+/// SplitMix64 finaliser: deterministic jitter without consuming RNG streams
+/// (retry timing must not perturb the workload's random sequences).
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Exponential backoff, capped (the "retransmission cap"): base_us << exp,
+/// collapsed to max_us when the shift exceeds 30, overflows, or passes the
+/// cap — shifts beyond the cap would overflow and an unreachable peer needs
+/// no finer schedule.
+inline SimTime Interval(SimTime base_us, SimTime max_us, uint32_t exp) {
+  exp = std::min(exp, uint32_t{30});
+  SimTime interval = base_us << exp;
+  if (interval <= 0 || interval > max_us) interval = max_us;
+  return interval;
+}
+
+/// Adds deterministic jitter in [0, interval/4] derived from `salt`: spreads
+/// retriers so a heal does not trigger a synchronised burst.
+inline SimTime Jittered(SimTime interval, uint64_t salt) {
+  return interval +
+         static_cast<SimTime>(Mix(salt) %
+                              static_cast<uint64_t>(interval / 4 + 1));
+}
+
+}  // namespace dvp::net::backoff

@@ -5,22 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "net/backoff.h"
 #include "obs/trace.h"
 
 namespace dvp::net {
-
-namespace {
-
-/// SplitMix64 finaliser: deterministic jitter without consuming RNG streams
-/// (the transport must not perturb the workload's random sequences).
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 Transport::Transport(sim::Kernel* kernel, Network* network, SiteId self,
                      obs::MetricsRegistry* metrics, Options options,
@@ -361,24 +349,14 @@ void Transport::Crash() {
 }
 
 SimTime Transport::IntervalFor(const PeerOut& po) const {
-  // Exponential backoff, capped (the "retransmission cap"): shifts beyond
-  // the cap would overflow and an unreachable peer needs no finer schedule.
-  uint32_t exp = std::min(po.backoff_exp, uint32_t{30});
-  SimTime interval = options_.rto_us << exp;
-  if (interval <= 0 || interval > options_.rto_max_us) {
-    interval = options_.rto_max_us;
-  }
-  return interval;
+  return backoff::Interval(options_.rto_us, options_.rto_max_us,
+                           po.backoff_exp);
 }
 
 SimTime Transport::JitteredInterval(SiteId peer, const PeerOut& po) const {
-  SimTime interval = IntervalFor(po);
-  // Deterministic jitter in [0, interval/4): spreads peers' retry rounds so
-  // a heal does not trigger a synchronised burst, without touching any RNG
-  // stream (runs stay a pure function of seed and schedule).
   uint64_t salt = (uint64_t{self_.value()} << 40) ^
                   (uint64_t{peer.value()} << 20) ^ po.rounds;
-  return interval + static_cast<SimTime>(Mix(salt) % (interval / 4 + 1));
+  return backoff::Jittered(IntervalFor(po), salt);
 }
 
 void Transport::ArmTimer() {

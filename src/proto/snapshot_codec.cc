@@ -1,0 +1,151 @@
+#include "proto/snapshot_codec.h"
+
+#include "wal/encoding.h"
+
+namespace dvp::proto {
+
+namespace {
+
+constexpr uint8_t kKindReq = 1;
+constexpr uint8_t kKindReply = 2;
+
+std::string Frame(std::string body) {
+  std::string out;
+  wal::PutFixed32(&out, wal::Crc32c(body));
+  out += body;
+  return out;
+}
+
+/// Strips and verifies the CRC framing; returns the body or empty status.
+Status Unframe(std::string_view frame, std::string_view* body) {
+  wal::Decoder dec(frame);
+  uint32_t crc = 0;
+  if (!dec.GetFixed32(&crc)) {
+    return Status::Corruption("snapshot frame: too short for checksum");
+  }
+  std::string_view rest = frame.substr(4);
+  if (wal::Crc32c(rest) != crc) {
+    return Status::Corruption("snapshot frame: checksum mismatch");
+  }
+  *body = rest;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSnapshotReq(const SnapshotReqMsg& msg) {
+  std::string body;
+  body.push_back(static_cast<char>(kKindReq));
+  wal::PutVarint64(&body, msg.txn.value());
+  wal::PutVarint64(&body, msg.ts_packed);
+  wal::PutVarint64(&body, msg.origin.value());
+  wal::PutVarint64(&body, msg.round);
+  wal::PutVarint64(&body, msg.items.size());
+  for (ItemId item : msg.items) wal::PutVarint64(&body, item.value());
+  return Frame(std::move(body));
+}
+
+std::string EncodeSnapshotReply(const SnapshotReplyMsg& msg) {
+  std::string body;
+  body.push_back(static_cast<char>(kKindReply));
+  wal::PutVarint64(&body, msg.txn.value());
+  wal::PutVarint64(&body, msg.from.value());
+  wal::PutVarint64(&body, msg.round);
+  wal::PutVarint64(&body, msg.ts_packed);
+  wal::PutVarint64(&body, msg.entries.size());
+  for (const SnapshotEntry& e : msg.entries) {
+    wal::PutVarint64(&body, e.item.value());
+    wal::PutVarsint64(&body, e.fragment);
+    wal::PutVarint64(&body, e.frag_ts_packed);
+    wal::PutVarint64(&body, e.created_count);
+    wal::PutVarsint64(&body, e.created_value);
+    wal::PutVarint64(&body, e.accepted_count);
+    wal::PutVarsint64(&body, e.accepted_value);
+    wal::PutVarint64(&body, e.closed_below);
+  }
+  return Frame(std::move(body));
+}
+
+StatusOr<SnapshotReqMsg> DecodeSnapshotReq(std::string_view frame) {
+  std::string_view body;
+  if (Status s = Unframe(frame, &body); !s.ok()) return s;
+  wal::Decoder dec(body);
+  if (dec.empty() || static_cast<uint8_t>(body[0]) != kKindReq) {
+    return Status::Corruption("snapshot frame: not a request");
+  }
+  dec = wal::Decoder(body.substr(1));
+  SnapshotReqMsg msg;
+  uint64_t txn = 0, ts = 0, origin = 0, round = 0, n = 0;
+  if (!dec.GetVarint64(&txn) || !dec.GetVarint64(&ts) ||
+      !dec.GetVarint64(&origin) || !dec.GetVarint64(&round) ||
+      !dec.GetVarint64(&n)) {
+    return Status::Corruption("snapshot request: truncated header");
+  }
+  // An item id per remaining byte at minimum — a forged huge count must not
+  // drive a huge allocation before the per-item reads fail.
+  if (n > dec.remaining()) {
+    return Status::Corruption("snapshot request: item count exceeds frame");
+  }
+  msg.txn = TxnId(txn);
+  msg.ts_packed = ts;
+  msg.origin = SiteId(static_cast<uint32_t>(origin));
+  msg.round = static_cast<uint32_t>(round);
+  msg.items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t item = 0;
+    if (!dec.GetVarint64(&item)) {
+      return Status::Corruption("snapshot request: truncated item list");
+    }
+    msg.items.push_back(ItemId(static_cast<uint32_t>(item)));
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("snapshot request: trailing bytes");
+  }
+  return msg;
+}
+
+StatusOr<SnapshotReplyMsg> DecodeSnapshotReply(std::string_view frame) {
+  std::string_view body;
+  if (Status s = Unframe(frame, &body); !s.ok()) return s;
+  wal::Decoder dec(body);
+  if (dec.empty() || static_cast<uint8_t>(body[0]) != kKindReply) {
+    return Status::Corruption("snapshot frame: not a reply");
+  }
+  dec = wal::Decoder(body.substr(1));
+  SnapshotReplyMsg msg;
+  uint64_t txn = 0, from = 0, round = 0, ts = 0, n = 0;
+  if (!dec.GetVarint64(&txn) || !dec.GetVarint64(&from) ||
+      !dec.GetVarint64(&round) || !dec.GetVarint64(&ts) ||
+      !dec.GetVarint64(&n)) {
+    return Status::Corruption("snapshot reply: truncated header");
+  }
+  if (n > dec.remaining()) {
+    return Status::Corruption("snapshot reply: entry count exceeds frame");
+  }
+  msg.txn = TxnId(txn);
+  msg.from = SiteId(static_cast<uint32_t>(from));
+  msg.round = static_cast<uint32_t>(round);
+  msg.ts_packed = ts;
+  msg.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SnapshotEntry e;
+    uint64_t item = 0;
+    if (!dec.GetVarint64(&item) || !dec.GetVarsint64(&e.fragment) ||
+        !dec.GetVarint64(&e.frag_ts_packed) ||
+        !dec.GetVarint64(&e.created_count) ||
+        !dec.GetVarsint64(&e.created_value) ||
+        !dec.GetVarint64(&e.accepted_count) ||
+        !dec.GetVarsint64(&e.accepted_value) ||
+        !dec.GetVarint64(&e.closed_below)) {
+      return Status::Corruption("snapshot reply: truncated entry");
+    }
+    e.item = ItemId(static_cast<uint32_t>(item));
+    msg.entries.push_back(e);
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("snapshot reply: trailing bytes");
+  }
+  return msg;
+}
+
+}  // namespace dvp::proto

@@ -1,0 +1,32 @@
+// Byte codec for the snapshot-read messages. The simulator itself never
+// serializes envelopes (EncodedSize models the wire), but the snapshot
+// protocol is the first whose replies a real deployment would persist or
+// ship across address spaces, so these two messages get a real encoding:
+// CRC32C-framed, varint-packed, and decoded defensively — arbitrary bytes
+// must surface as Status::Corruption, never undefined behaviour. The fuzz
+// suite drives Decode* with random bytes, truncations, and doctored frames
+// exactly like the WAL record decoder.
+//
+// Frame layout (mirrors wal::EncodeRecord): fixed32 CRC32C over the body,
+// then the body — a kind byte (1 = request, 2 = reply) followed by the
+// message fields as varints (zigzag for signed values). A decoder consumes
+// the entire body or rejects the frame; trailing bytes are corruption.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "proto/wire.h"
+
+namespace dvp::proto {
+
+std::string EncodeSnapshotReq(const SnapshotReqMsg& msg);
+std::string EncodeSnapshotReply(const SnapshotReplyMsg& msg);
+
+/// Decode a frame produced by the matching Encode*. Rejects (kCorruption)
+/// bad checksums, truncations, wrong kind bytes, and trailing garbage.
+StatusOr<SnapshotReqMsg> DecodeSnapshotReq(std::string_view frame);
+StatusOr<SnapshotReplyMsg> DecodeSnapshotReply(std::string_view frame);
+
+}  // namespace dvp::proto

@@ -163,4 +163,77 @@ struct SurplusNackMsg final : public net::Envelope {
   }
 };
 
+/// One item's stamped entry in a snapshot reply: the replying site's resident
+/// fragment plus its per-item Vm ledger at the capture instant. The four
+/// counters are lifetime totals of Vm this site created / accepted for the
+/// item (read-reply Vm included — they carry real value); together with the
+/// fragment they satisfy, at every instant,
+///   fragment == initial + accepted_value − created_value + Σ committed deltas
+/// which is what lets the reader assemble an exact consistent cut from one
+/// entry per site without moving any value (see DESIGN §4, snapshot reads).
+struct SnapshotEntry {
+  ItemId item;
+  core::Value fragment = 0;     ///< resident fragment value at capture
+  uint64_t frag_ts_packed = 0;  ///< fragment's Lamport stamp at capture
+  uint64_t created_count = 0;   ///< Vm this site created for the item
+  int64_t created_value = 0;    ///< value those Vm carried away
+  uint64_t accepted_count = 0;  ///< Vm this site accepted for the item
+  int64_t accepted_value = 0;   ///< value those Vm brought in
+  /// Sender's per-item closed watermark: every Vm counter below this that it
+  /// ever created for the item is durably dead. Staleness observability.
+  uint64_t closed_below = 0;
+
+  friend bool operator==(const SnapshotEntry&, const SnapshotEntry&) = default;
+};
+
+/// Stamped snapshot-read request (ReadMode::kSnapshot): "answer with your
+/// resident fragments and per-item Vm ledgers for these items". Unlike a
+/// full-read RequestMsg it moves no value, takes no remote lock, and the
+/// remote's concurrent writes proceed untouched. Datagram: a lost request is
+/// re-sent by the reader's bounded-backoff retry rounds.
+struct SnapshotReqMsg final : public net::Envelope {
+  TxnId txn;               ///< reading transaction (reply routing key)
+  uint64_t ts_packed = 0;  ///< TS(t); bumps the remote clock
+  SiteId origin;           ///< site executing the read
+  uint32_t round = 1;      ///< snapshot round this request opens
+  std::vector<ItemId> items;
+
+  std::string_view Tag() const override { return "SnapshotReq"; }
+  size_t EncodedSize() const override {
+    // txn, ts, origin, round + one item id per requested item.
+    return net::kEnvelopeHeaderBytes + 8 + 8 + 4 + 4 + items.size() * 4;
+  }
+
+  friend bool operator==(const SnapshotReqMsg& a, const SnapshotReqMsg& b) {
+    return a.txn == b.txn && a.ts_packed == b.ts_packed &&
+           a.origin == b.origin && a.round == b.round && a.items == b.items;
+  }
+};
+
+/// Reply to a SnapshotReqMsg: one stamped entry per requested item, captured
+/// atomically at the instant the request was handled. The reply is sent only
+/// after the capturing site's next log force (Site's snapshot handler gates
+/// it through GroupCommitLog::OnNextForce), so every commit the captured
+/// fragments reflect is durable — a crash before the force silently drops
+/// the reply instead of leaking a cut containing rolled-back commits.
+struct SnapshotReplyMsg final : public net::Envelope {
+  TxnId txn;                ///< echoes the request
+  SiteId from;              ///< replying site
+  uint32_t round = 0;       ///< round the capture answers
+  uint64_t ts_packed = 0;   ///< replier's clock at capture
+  std::vector<SnapshotEntry> entries;
+
+  std::string_view Tag() const override { return "SnapshotReply"; }
+  size_t EncodedSize() const override {
+    // txn, from, round, ts + (item, fragment, frag_ts, created count/value,
+    // accepted count/value, closed_below) per entry.
+    return net::kEnvelopeHeaderBytes + 8 + 4 + 4 + 8 + entries.size() * 60;
+  }
+
+  friend bool operator==(const SnapshotReplyMsg& a, const SnapshotReplyMsg& b) {
+    return a.txn == b.txn && a.from == b.from && a.round == b.round &&
+           a.ts_packed == b.ts_packed && a.entries == b.entries;
+  }
+};
+
 }  // namespace dvp::proto

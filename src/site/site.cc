@@ -264,6 +264,16 @@ bool Site::OnEnvelope(SiteId from, net::EnvelopePtr payload) {
     return vm_->AcceptOrIgnore(*transfer) &&
            !vm_->IsUnforcedAccept(transfer->vm);
   }
+  if (const auto* sreq =
+          dynamic_cast<const proto::SnapshotReqMsg*>(payload.get())) {
+    txn_->OnSnapshotReq(from, *sreq);
+    return true;
+  }
+  if (const auto* sreply =
+          dynamic_cast<const proto::SnapshotReplyMsg*>(payload.get())) {
+    txn_->OnSnapshotReply(from, *sreply);
+    return true;
+  }
   if (const auto* ack = dynamic_cast<const proto::VmAckMsg*>(payload.get())) {
     vm_->OnAck(*ack);
     return true;

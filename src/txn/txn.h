@@ -26,10 +26,14 @@ struct TxnOp {
                  ///< redistribute-then-retry (reservations, withdrawals)
     kReadFull,   ///< read the item's total value N — requires draining
                  ///< Π⁻¹(d) to this site (§3: N_W = N_Y = N_Z = N_M = 0)
+    kReadSnapshot,  ///< read the item's total value N from a stamped
+                    ///< consistent cut: sites answer with fragment + Vm
+                    ///< ledger, no value moves, no locks are taken, and
+                    ///< concurrent writes proceed untouched (DESIGN §4)
   };
   Kind kind = Kind::kIncrement;
   ItemId item;
-  core::Value amount = 0;  ///< unused for kReadFull
+  core::Value amount = 0;  ///< unused for the read kinds
 
   static TxnOp Increment(ItemId item, core::Value amount) {
     return {Kind::kIncrement, item, amount};
@@ -38,6 +42,9 @@ struct TxnOp {
     return {Kind::kDecrement, item, amount};
   }
   static TxnOp ReadFull(ItemId item) { return {Kind::kReadFull, item, 0}; }
+  static TxnOp ReadSnapshot(ItemId item) {
+    return {Kind::kReadSnapshot, item, 0};
+  }
 };
 
 /// A transaction specification.
@@ -80,7 +87,7 @@ struct TxnResult {
   TxnId id;
   TxnOutcome outcome = TxnOutcome::kAbortInvalid;
   Status status;
-  /// Values observed by kReadFull ops.
+  /// Values observed by kReadFull / kReadSnapshot ops.
   std::map<ItemId, core::Value> read_values;
   /// Virtual time from submission to decision. Bounded for every outcome —
   /// that is the non-blocking property.

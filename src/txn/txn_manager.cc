@@ -5,10 +5,24 @@
 #include <memory>
 
 #include "dvpcore/operators.h"
+#include "net/backoff.h"
 #include "obs/trace.h"
 #include "placement/placement.h"
 
 namespace dvp::txn {
+
+namespace {
+/// Snapshot retry pacing: the first kSnapshotFastRounds unbalanced rounds
+/// re-ask immediately (an unbalanced certificate usually closes within a
+/// round-trip once the in-flight Vm land); further rounds ride the backoff
+/// timer so a hot item cannot turn the reader into a poll loop.
+constexpr uint32_t kSnapshotFastRounds = 2;
+/// Hard bound on snapshot rounds. Past it the cut is accepted as-is: the
+/// per-site ledger identity makes every complete round's sum exact, so the
+/// certificate only ever gates *quiescence*, never correctness — the cap
+/// trades the closed-cut guarantee for the non-blocking bound.
+constexpr uint32_t kSnapshotMaxRounds = 32;
+}  // namespace
 
 std::string_view TxnOutcomeName(TxnOutcome outcome) {
   switch (outcome) {
@@ -85,7 +99,19 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
       m_multiop_aborted_(obs::CounterIn(metrics, "txn.multiop.aborted")),
       m_multiop_return_(obs::CounterIn(metrics, "txn.multiop.return_sends")),
       m_req_multiop_(obs::CounterIn(metrics, "req.multiop")),
-      h_rounds_(metrics ? metrics->histogram("txn.rounds") : nullptr) {
+      m_snap_req_sent_(obs::CounterIn(metrics, "snapshot.req.sent")),
+      m_snap_req_received_(obs::CounterIn(metrics, "snapshot.req.received")),
+      m_snap_reply_sent_(obs::CounterIn(metrics, "snapshot.reply.sent")),
+      m_snap_reply_received_(
+          obs::CounterIn(metrics, "snapshot.reply.received")),
+      m_snap_unbalanced_(obs::CounterIn(metrics, "snapshot.rounds.unbalanced")),
+      m_snap_stale_replies_(obs::CounterIn(metrics, "snapshot.stale_replies")),
+      m_snap_cut_forced_(obs::CounterIn(metrics, "snapshot.cut_forced")),
+      h_rounds_(metrics ? metrics->histogram("txn.rounds") : nullptr),
+      h_snap_rounds_(metrics ? metrics->histogram("txn.snapshot.rounds")
+                             : nullptr),
+      h_read_retry_(metrics ? metrics->histogram("txn.read.retry_rounds")
+                            : nullptr) {
   for (int o = 0; o <= static_cast<int>(TxnOutcome::kAbortInvalid); ++o) {
     std::string name =
         "txn." + std::string(TxnOutcomeName(static_cast<TxnOutcome>(o)));
@@ -106,6 +132,15 @@ void TxnManager::NoteCommitted(const PendingTxn& t) {
   if (t.rounds == 0) m_local_commit_->Inc();
   if (t.spec.atomic_set) m_multiop_committed_->Inc();
   if (h_rounds_) h_rounds_->Add(static_cast<double>(t.rounds));
+  if (h_read_retry_ && !t.reads.empty()) {
+    h_read_retry_->Add(static_cast<double>(t.read_retry_attempts));
+  }
+  if (!t.snap.items.empty()) {
+    if (h_read_retry_) {
+      h_read_retry_->Add(static_cast<double>(t.snap.attempts));
+    }
+    if (h_snap_rounds_) h_snap_rounds_->Add(static_cast<double>(t.snap.round));
+  }
 }
 
 TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
@@ -136,7 +171,9 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
     if (op.item.value() >= store_->num_items()) {
       return fail_fast(TxnOutcome::kAbortInvalid, "unknown item");
     }
-    if (op.kind != TxnOp::Kind::kReadFull && op.amount <= 0) {
+    bool is_read = op.kind == TxnOp::Kind::kReadFull ||
+                   op.kind == TxnOp::Kind::kReadSnapshot;
+    if (!is_read && op.amount <= 0) {
       return fail_fast(TxnOutcome::kAbortInvalid, "non-positive amount");
     }
     if (std::find(items.begin(), items.end(), op.item) != items.end()) {
@@ -155,7 +192,8 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
     }
     core::Value net = 0;
     for (const TxnOp& op : spec.ops) {
-      if (op.kind == TxnOp::Kind::kReadFull) {
+      if (op.kind == TxnOp::Kind::kReadFull ||
+          op.kind == TxnOp::Kind::kReadSnapshot) {
         return fail_fast(TxnOutcome::kAbortInvalid,
                          "atomic set cannot contain reads");
       }
@@ -166,9 +204,18 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
     }
   }
 
+  // Snapshot reads take NO locks and never stamp: the stamped cut is
+  // assembled entirely from reply-time captures, so a snapshot item is
+  // excluded from A(t) — it cannot conflict, cannot be refused by the
+  // timestamp rule, and concurrent writers never see the read at all.
+  std::vector<ItemId> lock_items;
+  for (const TxnOp& op : spec.ops) {
+    if (op.kind != TxnOp::Kind::kReadSnapshot) lock_items.push_back(op.item);
+  }
+
   // §5 step 1: atomically lock every local fragment in A(t). The pessimism
   // of the scheme: any conflict aborts immediately rather than waiting.
-  for (ItemId item : items) {
+  for (ItemId item : lock_items) {
     if (locks_->IsLocked(item)) {
       return fail_fast(TxnOutcome::kAbortLockConflict,
                        "fragment locked: item " + item.ToString());
@@ -183,19 +230,20 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   // order cannot cause a wait cycle anyway; keeping it canonical means the
   // invariant also survives any future scheme that retries instead of
   // aborting, and lets tests assert the order directly.
-  bool locked = items.size() > 1 ? locks_->TryLockAllOrdered(items, id)
-                                 : locks_->TryLockAll(items, id);
+  bool locked = lock_items.size() > 1
+                    ? locks_->TryLockAllOrdered(lock_items, id)
+                    : locks_->TryLockAll(lock_items, id);
   assert(locked);
   (void)locked;
   if (policy_.StampOnLock()) {
-    for (ItemId item : items) store_->SetTs(item, ts);
+    for (ItemId item : lock_items) store_->SetTs(item, ts);
   }
 
   auto t = std::make_unique<PendingTxn>();
   t->id = id;
   t->ts = ts;
   t->spec = spec;
-  t->items = items;
+  t->items = lock_items;
   t->cb = std::move(cb);
   t->start_time = kernel_->Now();
 
@@ -228,13 +276,28 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
         t->reads.emplace(op.item, rs);
         break;
       }
+      case TxnOp::Kind::kReadSnapshot:
+        t->snap.items.push_back(op.item);
+        break;
     }
+  }
+
+  // A single-site snapshot degenerates to the local capture: the fragment
+  // plus the (necessarily drained) local ledger is the whole cut.
+  if (!t->snap.items.empty() && num_sites_ <= 1) {
+    for (ItemId item : t->snap.items) {
+      const vm::VmManager::ItemLedger& led = vm_->ledger(item);
+      t->snap.totals[item] =
+          store_->value(item) + led.created_value - led.accepted_value;
+    }
+    t->snap.done = true;
   }
 
   PendingTxn& ref = *t;
   pending_.emplace(id, std::move(t));
 
-  if (parts.empty() && ref.shortfall.empty()) {
+  if (parts.empty() && ref.shortfall.empty() &&
+      (ref.snap.items.empty() || ref.snap.done)) {
     // Write-only / locally satisfiable fast path: no redistribution phase.
     bool all_reads_done = true;
     for (const auto& [item, rs] : ref.reads) {
@@ -252,6 +315,10 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   ref.rounds = 1;
   ArmReadRetry(ref);
   ArmGatherRetry(ref);
+  if (!ref.snap.items.empty() && !ref.snap.done) {
+    SendSnapshotRound(ref, /*only_stale=*/false);
+    ArmSnapshotRetry(ref);
+  }
   TxnId timeout_id = id;
   SimTime base_timeout = options_.timeout_us;
   if (spec.atomic_set && options_.multiop_timeout_us > 0) {
@@ -664,14 +731,191 @@ void TxnManager::ArmReadRetry(PendingTxn& t) {
   }
   if (!any_open) return;
   TxnId id = t.id;
-  t.read_retry = kernel_->Schedule(options_.read_retry_us, [this, id]() {
+  // Capped exponential backoff with deterministic jitter instead of the old
+  // fixed 40 ms poll: a healthy round re-asks quickly, a partitioned one
+  // stops hammering the wire, and readers on different sites (or different
+  // transactions on one site) spread out instead of firing in lockstep.
+  uint64_t salt = (uint64_t{self_.value()} << 40) ^ (id.value() << 1) ^
+                  t.read_retry_attempts;
+  SimTime delay = net::backoff::Jittered(
+      net::backoff::Interval(options_.read_retry_us, options_.read_retry_max_us,
+                             t.read_retry_attempts),
+      salt);
+  t.read_retry = kernel_->Schedule(delay, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingTxn& t = *it->second;
+    ++t.read_retry_attempts;
     for (auto& [item, rs] : t.reads) {
       if (!rs.done) SendReadRound(t, item, /*only_missing=*/true);
     }
     ArmReadRetry(t);
+  });
+}
+
+void TxnManager::OnSnapshotReq(SiteId from, const proto::SnapshotReqMsg& msg) {
+  (void)from;
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  m_snap_req_received_->Inc();
+
+  // Capture NOW — fragment values and ledgers at one instant, so the
+  // per-site identity holds exactly for this entry set. No locks checked,
+  // no value moved: concurrent writers are entirely untouched.
+  auto reply = net::MakeEnvelope<proto::SnapshotReplyMsg>();
+  reply->txn = msg.txn;
+  reply->from = self_;
+  reply->round = msg.round;
+  reply->ts_packed = clock_->Next().packed();
+  reply->trace_id = msg.trace_id;
+  for (ItemId item : msg.items) {
+    if (item.value() >= store_->num_items()) continue;
+    const core::Fragment& frag = store_->fragment(item);
+    const vm::VmManager::ItemLedger& led = vm_->ledger(item);
+    proto::SnapshotEntry e;
+    e.item = item;
+    e.fragment = frag.value;
+    e.frag_ts_packed = frag.ts.packed();
+    e.created_count = led.created_count;
+    e.created_value = led.created_value;
+    e.accepted_count = led.accepted_count;
+    e.accepted_value = led.accepted_value;
+    e.closed_below = vm_->ItemClosedBelow(item);
+    reply->entries.push_back(e);
+  }
+
+  // Force gate: the captured fragments may reflect commits still sitting in
+  // the unforced group-commit batch. The reply leaves only at the force that
+  // makes them durable — a crash before it drops the reply with the rest of
+  // the volatile scheduler, so no cut ever contains a rolled-back commit.
+  // Force-per-append mode has no unforced tail and sends immediately.
+  SiteId origin = msg.origin;
+  log_->OnNextForce([this, origin, reply = std::move(reply)]() mutable {
+    m_snap_reply_sent_->Inc();
+    transport_->SendDatagram(origin, std::move(reply));
+  });
+}
+
+void TxnManager::OnSnapshotReply(SiteId from,
+                                 const proto::SnapshotReplyMsg& msg) {
+  (void)from;
+  clock_->Observe(Timestamp::FromPacked(msg.ts_packed));
+  m_snap_reply_received_->Inc();
+  auto it = pending_.find(msg.txn);
+  if (it == pending_.end()) return;
+  PendingTxn& t = *it->second;
+  if (t.snap.items.empty() || t.snap.done) return;
+  if (msg.round < t.snap.round) m_snap_stale_replies_->Inc();
+  SnapState::Reply& slot = t.snap.replies[msg.from];
+  // Latest reply per site wins; a reordered older duplicate is dropped.
+  if (msg.round < slot.round) return;
+  slot.round = msg.round;
+  slot.entries = msg.entries;
+  TryCompleteSnapshot(t);
+}
+
+void TxnManager::TryCompleteSnapshot(PendingTxn& t) {
+  SnapState& s = t.snap;
+  if (s.done || s.replies.size() + 1 < num_sites_) return;
+
+  // Assemble the cut from the latest reply per site plus a fresh local
+  // capture: Σ fragments + Σ (created − accepted) ledger value. The per-site
+  // identity telescopes to  N₀ + Σᵢ (commits at i before its capture) , an
+  // exact total under the windowed commit-subset rule — even when the
+  // in-flight term is transiently negative (an acceptance captured whose
+  // creation was not double-counts a fragment; the negative channel term is
+  // its exact compensation).
+  bool balanced = true;
+  std::map<ItemId, core::Value> totals;
+  for (ItemId item : s.items) {
+    const vm::VmManager::ItemLedger& led = vm_->ledger(item);
+    uint64_t created_count = led.created_count;
+    uint64_t accepted_count = led.accepted_count;
+    int64_t created_value = led.created_value;
+    int64_t accepted_value = led.accepted_value;
+    core::Value fragments = store_->value(item);
+    for (const auto& [site, reply] : s.replies) {
+      (void)site;
+      for (const proto::SnapshotEntry& e : reply.entries) {
+        if (e.item != item) continue;
+        fragments += e.fragment;
+        created_count += e.created_count;
+        accepted_count += e.accepted_count;
+        created_value += e.created_value;
+        accepted_value += e.accepted_value;
+      }
+    }
+    totals[item] = fragments + (created_value - accepted_value);
+    // Balance certificate: every created Vm's acceptance captured and vice
+    // versa — no value visibly in flight, the cut is closed.
+    if (created_count != accepted_count || created_value != accepted_value) {
+      balanced = false;
+    }
+  }
+
+  if (balanced || s.round >= kSnapshotMaxRounds) {
+    if (!balanced) m_snap_cut_forced_->Inc();
+    s.totals = std::move(totals);
+    s.done = true;
+    t.snap_retry.Cancel();
+    Reevaluate(t);
+    return;
+  }
+
+  // Unbalanced: only advance once the current round is fully answered —
+  // a straggler from this round may still close the certificate.
+  for (const auto& [site, reply] : s.replies) {
+    (void)site;
+    if (reply.round < s.round) return;
+  }
+  m_snap_unbalanced_->Inc();
+  ++s.round;
+  ++t.rounds;
+  if (s.round <= kSnapshotFastRounds) {
+    // The in-flight value usually lands within a round-trip; re-ask now.
+    SendSnapshotRound(t, /*only_stale=*/false);
+  }
+  // Beyond the fast rounds the armed backoff timer paces the re-asks.
+}
+
+void TxnManager::SendSnapshotRound(PendingTxn& t, bool only_stale) {
+  const SnapState& s = t.snap;
+  for (uint32_t site = 0; site < num_sites_; ++site) {
+    if (site == self_.value()) continue;
+    if (only_stale) {
+      auto it = s.replies.find(SiteId(site));
+      if (it != s.replies.end() && it->second.round >= s.round) continue;
+    }
+    auto msg = net::MakeEnvelope<proto::SnapshotReqMsg>();
+    msg->txn = t.id;
+    msg->ts_packed = t.ts.packed();
+    msg->origin = self_;
+    msg->round = s.round;
+    msg->items = s.items;
+    msg->trace_id = t.id.value();
+    m_snap_req_sent_->Inc();
+    transport_->SendDatagram(SiteId(site), std::move(msg));
+  }
+}
+
+void TxnManager::ArmSnapshotRetry(PendingTxn& t) {
+  if (t.snap.items.empty() || t.snap.done) return;
+  TxnId id = t.id;
+  uint64_t salt =
+      (uint64_t{self_.value()} << 40) ^ (id.value() << 1) ^ t.snap.attempts;
+  SimTime delay = net::backoff::Jittered(
+      net::backoff::Interval(options_.read_retry_us, options_.read_retry_max_us,
+                             t.snap.attempts),
+      salt);
+  t.snap_retry = kernel_->Schedule(delay, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingTxn& t = *it->second;
+    if (t.snap.done) return;
+    ++t.snap.attempts;
+    // Retry only the sites whose latest reply predates the current round —
+    // balanced sites' entries are already usable as-is.
+    SendSnapshotRound(t, /*only_stale=*/true);
+    ArmSnapshotRetry(t);
   });
 }
 
@@ -730,6 +974,7 @@ void TxnManager::Reevaluate(PendingTxn& t) {
     (void)item;
     if (!rs.done) return;
   }
+  if (!t.snap.items.empty() && !t.snap.done) return;
   ScheduleCommit(t);
 }
 
@@ -745,6 +990,7 @@ void TxnManager::ScheduleCommit(PendingTxn& t) {
   t.timeout.Cancel();
   t.read_retry.Cancel();
   t.gather_retry.Cancel();
+  t.snap_retry.Cancel();
   if (options_.local_compute_us <= 0) {
     Commit(t);
     return;
@@ -787,6 +1033,9 @@ void TxnManager::Commit(PendingTxn& t) {
         break;
       case TxnOp::Kind::kReadFull:
         result.read_values[op.item] = frag.value;
+        break;
+      case TxnOp::Kind::kReadSnapshot:
+        result.read_values[op.item] = t.snap.totals.at(op.item);
         break;
     }
   }
@@ -842,6 +1091,7 @@ void TxnManager::Commit(PendingTxn& t) {
   t.timeout.Cancel();
   t.read_retry.Cancel();
   t.gather_retry.Cancel();
+  t.snap_retry.Cancel();
   // `t` may die inside the first Append below (a full batch flushes inline,
   // running the completion callback) — no member of `t` is touched after it.
   log_->Append(wal::LogRecord(rec),
@@ -868,6 +1118,7 @@ void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
   t.timeout.Cancel();
   t.read_retry.Cancel();
   t.gather_retry.Cancel();
+  t.snap_retry.Cancel();
 
   // A multi-op that gathered part of its item set returns every partial
   // gather to its source as an ordinary Rds send — still conservation-
@@ -958,6 +1209,7 @@ void TxnManager::CrashAbortAll() {
     t->timeout.Cancel();
     t->read_retry.Cancel();
     t->gather_retry.Cancel();
+    t->snap_retry.Cancel();
     TxnResult result;
     result.id = t->id;
     if (t->committed) {

@@ -56,11 +56,17 @@ struct TxnManagerOptions {
   /// §5 step 3: redistribution replies must arrive within this window or the
   /// transaction aborts.
   SimTime timeout_us = 300'000;
-  /// Full-read gather rounds re-send their (non-critical, datagram) requests
-  /// at this interval until every site has answered the round — a remote
-  /// site silently ignores a read request while it still has outstanding Vm
-  /// for the item, so the reader must poll (§5's optional request retry).
+  /// Read retries (both modes) re-send their (non-critical, datagram)
+  /// requests until every site has answered — a remote site silently ignores
+  /// a full-read request while it still has outstanding Vm for the item, so
+  /// the reader must poll (§5's optional request retry), and a snapshot
+  /// round can lose requests or replies outright. This is the BASE interval
+  /// of a capped exponential backoff (net::backoff): attempt k waits
+  /// Jittered(Interval(read_retry_us, read_retry_max_us, k)), so a healthy
+  /// cluster retries fast while a partitioned one stops hammering the wire.
   SimTime read_retry_us = 40'000;
+  /// Cap of the read-retry backoff (see read_retry_us).
+  SimTime read_retry_max_us = 320'000;
   cc::CcScheme scheme = cc::CcScheme::kConc1;
   /// How many remote sites receive a shortfall request; 0 = all other sites.
   uint32_t request_fanout = 0;
@@ -109,6 +115,17 @@ class TxnManager {
   /// Handles a request from another site's transaction (or this site's —
   /// i = j is legal in the paper and arises in single-site clusters).
   void OnRequest(SiteId from, const proto::RequestMsg& msg);
+
+  /// Snapshot-read request handler: captures the resident fragments and
+  /// per-item Vm ledgers at this instant, then sends the reply at the next
+  /// covering log force (a reply must never leak a cut containing commits a
+  /// crash could still roll back). Takes no locks, moves no value.
+  void OnSnapshotReq(SiteId from, const proto::SnapshotReqMsg& msg);
+
+  /// Snapshot-read reply handler for a read pending at this site. Keeps the
+  /// latest reply per site; once every remote has answered, checks the
+  /// balance certificate and completes or opens another round.
+  void OnSnapshotReply(SiteId from, const proto::SnapshotReplyMsg& msg);
 
   /// "Nothing to ship" feedback for a surplus-directed request: zeroes the
   /// placement cache entry for (from, item) so the next gather redirects.
@@ -168,6 +185,32 @@ class TxnManager {
     bool done = false;
   };
 
+  /// State of one snapshot read (ReadMode::kSnapshot). The reader assembles
+  /// Σ fragments + Σ (created − accepted) ledger values from the latest
+  /// reply per site plus a fresh local capture; the per-site identity
+  ///   fragment ≡ initial + accepted_value − created_value + Σ local commits
+  /// makes ANY such combination an exact total under the windowed
+  /// commit-subset rule, so correctness never depends on which round a reply
+  /// came from. The balance certificate (Σ created == Σ accepted, counts and
+  /// values, per item) is the quiescence signal that ends the read: while
+  /// value is visibly in flight another round is opened, bounded by
+  /// kSnapshotMaxRounds — past the cap the (still exact) cut is accepted.
+  struct SnapState {
+    std::vector<ItemId> items;
+    uint32_t round = 1;
+    /// Backoff exponent for paced retry rounds (see read_retry_us).
+    uint32_t attempts = 0;
+    struct Reply {
+      uint32_t round = 0;
+      std::vector<proto::SnapshotEntry> entries;
+    };
+    /// Latest reply per remote site (a higher round supersedes).
+    std::map<SiteId, Reply> replies;
+    /// Assembled totals per item, valid once done.
+    std::map<ItemId, core::Value> totals;
+    bool done = false;
+  };
+
   struct PendingTxn {
     TxnId id;
     Timestamp ts;
@@ -176,12 +219,16 @@ class TxnManager {
     /// Remaining shortfall per decrement item still short.
     std::map<ItemId, core::Value> shortfall;
     std::map<ItemId, ReadState> reads;
+    SnapState snap;
     sim::EventHandle timeout;
     sim::EventHandle read_retry;
     sim::EventHandle gather_retry;
+    sim::EventHandle snap_retry;
     TxnCallback cb;
     SimTime start_time = 0;
     uint32_t rounds = 0;
+    /// Read-retry timer firings (the backoff exponent for full reads).
+    uint32_t read_retry_attempts = 0;
     bool committed = false;
     bool commit_scheduled = false;
     /// Value this transaction absorbed mid-gather, per (src, item) — tracked
@@ -202,6 +249,13 @@ class TxnManager {
   void SendReadRound(PendingTxn& t, ItemId item, bool only_missing);
   void ArmReadRetry(PendingTxn& t);
   void ArmGatherRetry(PendingTxn& t);
+  /// Sends the current snapshot round's request. `only_stale` (the retry
+  /// path) re-asks only sites whose latest reply predates the round.
+  void SendSnapshotRound(PendingTxn& t, bool only_stale);
+  /// Evaluates the balance certificate over the latest-reply-per-site set
+  /// plus a fresh local capture; completes the read or advances the round.
+  void TryCompleteSnapshot(PendingTxn& t);
+  void ArmSnapshotRetry(PendingTxn& t);
   std::vector<SiteId> PickTargets();
   /// Counter for a final verdict (txn.committed / txn.abort.*), and the
   /// closing edge of the transaction's trace span.
@@ -250,8 +304,22 @@ class TxnManager {
   obs::Counter* m_multiop_aborted_;
   obs::Counter* m_multiop_return_;
   obs::Counter* m_req_multiop_;
+  /// Snapshot-read counters; only move when kReadSnapshot ops run, so
+  /// snapshot-free workloads keep byte-identical counter sets.
+  obs::Counter* m_snap_req_sent_;
+  obs::Counter* m_snap_req_received_;
+  obs::Counter* m_snap_reply_sent_;
+  obs::Counter* m_snap_reply_received_;
+  obs::Counter* m_snap_unbalanced_;
+  obs::Counter* m_snap_stale_replies_;
+  obs::Counter* m_snap_cut_forced_;
   /// Gather rounds per committed transaction; null without a registry.
   Histogram* h_rounds_ = nullptr;
+  /// Snapshot rounds per completed snapshot read (≈1 at quiescence).
+  Histogram* h_snap_rounds_ = nullptr;
+  /// Retry-timer firings per read, both modes — the backoff observability
+  /// the fixed 40 ms poll never had.
+  Histogram* h_read_retry_ = nullptr;
 
   std::map<TxnId, std::unique_ptr<PendingTxn>> pending_;
 };

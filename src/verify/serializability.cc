@@ -55,6 +55,76 @@ bool SubsetSumReachableJoint(
 
 }  // namespace
 
+Status HistoryChecker::WindowedReadCheck(
+    const CommittedTxn& c, const std::vector<ItemId>& read_items) const {
+  // Windowed view check: each read serialised at its drain/capture points,
+  // somewhere inside [start, commit]. Updates that committed before the
+  // transaction started were necessarily visible; updates that committed
+  // during the window may or may not have been — but per whole TRANSACTION,
+  // not per item. A window transaction is either visible to all of this
+  // transaction's reads or to none of them; choosing per item would accept
+  // a reader that saw only one leg of an atomic transfer.
+  std::vector<core::Value> must(read_items.size());
+  std::vector<core::Value> target(read_items.size());
+  for (size_t i = 0; i < read_items.size(); ++i) {
+    must[i] = catalog_->info(read_items[i]).initial_total;
+    target[i] = c.read_values.at(read_items[i]);
+  }
+  std::vector<std::vector<core::Value>> optional;
+  for (const auto& other : history_) {
+    if (&other == &c) continue;
+    std::vector<core::Value> contrib(read_items.size(), 0);
+    bool touches = false;
+    for (const txn::TxnOp& oop : other.spec.ops) {
+      if (oop.kind == txn::TxnOp::Kind::kReadFull ||
+          oop.kind == txn::TxnOp::Kind::kReadSnapshot) {
+        continue;
+      }
+      for (size_t i = 0; i < read_items.size(); ++i) {
+        if (oop.item != read_items[i]) continue;
+        contrib[i] += oop.kind == txn::TxnOp::Kind::kIncrement ? oop.amount
+                                                               : -oop.amount;
+        touches = true;
+      }
+    }
+    if (!touches) continue;
+    if (other.commit_us <= c.start_us) {
+      for (size_t i = 0; i < read_items.size(); ++i) must[i] += contrib[i];
+    } else if (other.commit_us <= c.commit_us) {
+      optional.push_back(std::move(contrib));
+    }
+  }
+  for (size_t i = 0; i < read_items.size(); ++i) target[i] -= must[i];
+  if (!SubsetSumReachableJoint(optional, target)) {
+    return Status::Internal(
+        "windowed read check: txn ts=" +
+        Timestamp::FromPacked(c.id.value()).ToString() + " observed " +
+        std::to_string(read_items.size()) +
+        " read(s) jointly unreachable with " +
+        std::to_string(optional.size()) + " window transactions");
+  }
+  return Status::OK();
+}
+
+Status HistoryChecker::CheckSnapshotCuts() const {
+  for (const auto& c : history_) {
+    std::vector<ItemId> read_items;
+    for (const txn::TxnOp& op : c.spec.ops) {
+      if (op.kind != txn::TxnOp::Kind::kReadSnapshot) continue;
+      if (!c.read_values.contains(op.item)) {
+        return Status::Internal(
+            "snapshot cut check: read value missing; txn ts=" +
+            Timestamp::FromPacked(c.id.value()).ToString() + " item=" +
+            catalog_->info(op.item).name);
+      }
+      read_items.push_back(op.item);
+    }
+    if (read_items.empty()) continue;
+    if (Status s = WindowedReadCheck(c, read_items); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status HistoryChecker::Check(
     Order order, const std::map<ItemId, core::Value>* final_totals) const {
   std::vector<const CommittedTxn*> serial;
@@ -136,54 +206,20 @@ Status HistoryChecker::Check(
           read_items.push_back(op.item);
           break;
         }
+        case txn::TxnOp::Kind::kReadSnapshot: {
+          if (!c->read_values.contains(op.item)) {
+            return Status::Internal("serial replay: read value missing; " +
+                                    describe(op));
+          }
+          // A snapshot cut serialises at its capture points, never at the
+          // reader's timestamp — windowed under both orders.
+          read_items.push_back(op.item);
+          break;
+        }
       }
     }
     if (read_items.empty()) continue;
-
-    // Windowed view check (kCommitOrder): each read serialised at its drain
-    // points, somewhere inside [start, commit]. Updates that committed
-    // before the transaction started were necessarily drained; updates that
-    // committed during the window may or may not have been — but per whole
-    // TRANSACTION, not per item. A window transaction is either visible to
-    // all of this transaction's reads or to none of them; choosing per item
-    // would accept a reader that saw only one leg of an atomic transfer.
-    std::vector<core::Value> must(read_items.size());
-    std::vector<core::Value> target(read_items.size());
-    for (size_t i = 0; i < read_items.size(); ++i) {
-      must[i] = catalog_->info(read_items[i]).initial_total;
-      target[i] = c->read_values.at(read_items[i]);
-    }
-    std::vector<std::vector<core::Value>> optional;
-    for (const auto& other : history_) {
-      if (&other == c) continue;
-      std::vector<core::Value> contrib(read_items.size(), 0);
-      bool touches = false;
-      for (const txn::TxnOp& oop : other.spec.ops) {
-        if (oop.kind == txn::TxnOp::Kind::kReadFull) continue;
-        for (size_t i = 0; i < read_items.size(); ++i) {
-          if (oop.item != read_items[i]) continue;
-          contrib[i] += oop.kind == txn::TxnOp::Kind::kIncrement
-                            ? oop.amount
-                            : -oop.amount;
-          touches = true;
-        }
-      }
-      if (!touches) continue;
-      if (other.commit_us <= c->start_us) {
-        for (size_t i = 0; i < read_items.size(); ++i) must[i] += contrib[i];
-      } else if (other.commit_us <= c->commit_us) {
-        optional.push_back(std::move(contrib));
-      }
-    }
-    for (size_t i = 0; i < read_items.size(); ++i) target[i] -= must[i];
-    if (!SubsetSumReachableJoint(optional, target)) {
-      return Status::Internal(
-          "windowed read check: txn ts=" +
-          Timestamp::FromPacked(c->id.value()).ToString() + " observed " +
-          std::to_string(read_items.size()) +
-          " read(s) jointly unreachable with " +
-          std::to_string(optional.size()) + " window transactions");
-    }
+    if (Status s = WindowedReadCheck(*c, read_items); !s.ok()) return s;
   }
 
   if (final_totals != nullptr) {

@@ -70,6 +70,14 @@ void VmManager::ObserveClosedBelow(SiteId src, uint64_t closed_below) {
   if (pruned > 0) m_accepted_pruned_->Inc(pruned);
 }
 
+uint64_t VmManager::ItemClosedBelow(ItemId item) const {
+  uint64_t closed = next_vm_counter_;
+  for (const auto& [id, out] : outbox_) {
+    if (out.item == item) closed = std::min(closed, VmIdCounter(id));
+  }
+  return closed;
+}
+
 uint64_t VmManager::ClosedBelowFor(SiteId dst) const {
   uint64_t closed = next_vm_counter_;
   for (const auto& [id, out] : outbox_) {
@@ -101,6 +109,12 @@ VmId VmManager::CreateVm(SiteId dst, ItemId item, core::Value amount,
   rec.for_txn = for_txn;
   rec.write = wal::FragmentWrite{item, frag.value - amount, -amount,
                                  frag.ts.packed()};
+
+  // Per-item ledger bump at the debit instant (read replies included — they
+  // carry real value): keeps the snapshot identity exact at every instant.
+  ItemLedger& led = ledger_[item];
+  ++led.created_count;
+  led.created_value += amount;
 
   if (!log_->enabled()) {
     log_->Append(wal::LogRecord(rec));
@@ -212,6 +226,11 @@ core::Value VmManager::DoAccept(const proto::VmTransferMsg& msg,
                     msg.vm.value(), "amount",
                     static_cast<uint64_t>(msg.amount));
   }
+
+  // Ledger bump at the credit instant — the mirror of CreateVm's debit.
+  ItemLedger& led = ledger_[msg.item];
+  ++led.accepted_count;
+  led.accepted_value += msg.amount;
 
   if (!log_->enabled()) {
     log_->Append(wal::LogRecord(rec));
@@ -347,6 +366,7 @@ void VmManager::Clear() {
   lifetime_accepts_ = 0;
   lifetime_creates_ = 0;
   accepted_peak_ = 0;
+  ledger_.clear();
   next_vm_counter_ = 1;
 }
 
@@ -362,6 +382,12 @@ void VmManager::RestoreFromLog() {
       // Safe: a level shift only makes the reader's equality comparison fail
       // and run an extra round — never terminate early.
       ++lifetime_creates_;
+      // The per-item ledger IS exact across recovery (unlike the count
+      // above): the same durable records rebuild the store, so the fragment
+      // identity holds again the instant the scan finishes.
+      ItemLedger& cled = ledger_[create->item];
+      ++cled.created_count;
+      cled.created_value += create->amount;
       if (VmIdSite(create->vm) == self_) {
         next_vm_counter_ =
             std::max(next_vm_counter_, VmIdCounter(create->vm) + 1);
@@ -370,6 +396,9 @@ void VmManager::RestoreFromLog() {
       // The full accepted history is rebuilt (pruning watermarks are
       // volatile); the first transfers from each peer re-prune it.
       MarkAccepted(accept->vm);
+      ItemLedger& aled = ledger_[accept->item];
+      ++aled.accepted_count;
+      aled.accepted_value += accept->amount;
     } else if (const auto* acked = std::get_if<wal::VmAckedRec>(&rec)) {
       outbox_.erase(acked->vm);
     }

@@ -54,6 +54,15 @@ void GroupCommitLog::Flush() {
   for (auto& cb : ready) cb();
 }
 
+void GroupCommitLog::OnNextForce(std::function<void()> fn) {
+  if (!options_.enabled || storage_->unforced_records() == 0) {
+    fn();
+    return;
+  }
+  callbacks_.push_back(std::move(fn));
+  ArmTimer();
+}
+
 void GroupCommitLog::ArmTimer() {
   if (timer_armed_) return;
   timer_armed_ = true;

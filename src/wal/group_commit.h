@@ -72,6 +72,15 @@ class GroupCommitLog {
   /// StableStorage::Append already made durable. No-op when nothing pends.
   void Flush();
 
+  /// Runs `fn` once the log's current unforced tail is durable — immediately
+  /// when nothing pends (or group commit is disabled), otherwise at the next
+  /// covering force. Unlike Append's on_durable this writes no record: it is
+  /// for actions that must not outrun durability of state they *observed*
+  /// (the snapshot reply gate — a captured cut may reflect buffered commits,
+  /// so the reply waits for the force that makes them real; a crash before
+  /// it drops the callback with the rest of the volatile scheduler).
+  void OnNextForce(std::function<void()> fn);
+
   bool enabled() const { return options_.enabled; }
   const GroupCommitOptions& options() const { return options_; }
   StableStorage* storage() const { return storage_; }

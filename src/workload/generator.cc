@@ -32,21 +32,27 @@ txn::TxnSpec WorkloadDriver::MakeSpec(Rng& rng) {
   ItemId item = items_[item_zipf_.Next(rng)];
   double multi =
       items_.size() >= 2 ? options_.p_transfer + options_.p_order : 0.0;
-  double total =
-      options_.p_decrement + options_.p_increment + options_.p_read + multi;
+  double total = options_.p_decrement + options_.p_increment +
+                 options_.p_read + options_.p_snapshot + multi;
   double r = rng.NextDouble() * total;
   core::Value amount = rng.NextInt(options_.amount_min, options_.amount_max);
-  double single =
-      options_.p_decrement + options_.p_increment + options_.p_read;
+  // Snapshot slots in after the full read; at p_snapshot = 0 every threshold
+  // below is numerically unchanged, so pre-existing seeds keep their stream.
+  double single = options_.p_decrement + options_.p_increment +
+                  options_.p_read + options_.p_snapshot;
   if (r < options_.p_decrement) {
     spec.ops = {txn::TxnOp::Decrement(item, amount)};
     spec.label = "decrement";
   } else if (r < options_.p_decrement + options_.p_increment) {
     spec.ops = {txn::TxnOp::Increment(item, amount)};
     spec.label = "increment";
-  } else if (r < single) {
+  } else if (r <
+             options_.p_decrement + options_.p_increment + options_.p_read) {
     spec.ops = {txn::TxnOp::ReadFull(item)};
     spec.label = "read";
+  } else if (r < single) {
+    spec.ops = {txn::TxnOp::ReadSnapshot(item)};
+    spec.label = "snapshot";
   } else {
     // Multi-item classes: the second item comes from the same Zipf draw, so
     // hot-item pairs collide exactly as the skew dictates. These extra draws

@@ -22,7 +22,11 @@ struct WorkloadOptions {
   /// Operation mix (normalised internally).
   double p_decrement = 0.70;  ///< reserve / withdraw / allocate
   double p_increment = 0.25;  ///< cancel / deposit / restock
-  double p_read = 0.05;       ///< full read of the item value
+  double p_read = 0.05;       ///< full read of the item value (drain)
+  /// Stamped snapshot read of the item value (ReadMode::kSnapshot): no value
+  /// moves, no locks. At 0 (the default) the mix draw thresholds are
+  /// unchanged, so existing seeds keep their exact RNG stream.
+  double p_snapshot = 0.0;
   /// Multi-item atomic sets (0 = none, the seed mix). A transfer moves the
   /// drawn amount between two Zipf-drawn distinct items; an order decrements
   /// stock and books the same quantity as revenue. Both need >= 2 items in

@@ -94,5 +94,46 @@ TEST(ChaosRegression, SkewedTimeoutsStillNonBlocking) {
   EXPECT_GE(r.latency_bound_us, 120'000 * 19 / 10);
 }
 
+// Stamped snapshot reads under the full adversary: loss, duplication,
+// crash/recovery of replying sites, and a partition across the read window.
+// The windowed consistent-cut oracle (wired in automatically whenever
+// snapshot_permille > 0) must accept every committed snapshot, and the
+// balance-certificate retry rounds must never block a decision. The
+// force-gated reply rule is what this case leans on: a site that crashes
+// after capturing volatile state must NOT have leaked that capture into a
+// committed cut.
+TEST(ChaosRegression, SnapshotCutsSurviveCrashesAndPartitions) {
+  chaos::ChaosCase c;
+  c.seed = 404;
+  c.perturb_seed = 4041;
+  c.max_jitter_us = 200;
+  c.workload.sites = 4;
+  c.workload.items = 2;
+  c.workload.total = 200;
+  c.workload.txns = 70;
+  c.workload.gap_us = 25'000;
+  c.workload.redist_permille = 200;
+  c.workload.max_amount = 20;
+  c.workload.timeout_us = 150'000;
+  c.workload.loss_permille = 250;
+  c.workload.dup_permille = 150;
+  c.workload.group_commit_records = 6;
+  c.workload.group_commit_delay_us = 2'000;
+  c.workload.snapshot_permille = 400;
+  c.plan.events = {{150'000, chaos::FaultKind::kCrash, 1, 0},
+                   {450'000, chaos::FaultKind::kRecover, 1, 0},
+                   {600'000, chaos::FaultKind::kPartition, 0b0011, 0},
+                   {850'000, chaos::FaultKind::kHeal, 0, 0},
+                   {1'000'000, chaos::FaultKind::kCrash, 3, 0},
+                   {1'300'000, chaos::FaultKind::kRecover, 3, 0}};
+
+  chaos::RunResult r = chaos::RunCase(c);
+  EXPECT_TRUE(r.ok) << r.violation << "\n" << c.ToLiteral();
+  EXPECT_EQ(r.decided, r.submitted);
+  // Determinism: the digest is a pure function of the case.
+  chaos::RunResult r2 = chaos::RunCase(c);
+  EXPECT_EQ(r.digest, r2.digest);
+}
+
 }  // namespace
 }  // namespace dvp

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "proto/snapshot_codec.h"
 #include "wal/record.h"
 
 namespace dvp::wal {
@@ -216,6 +217,136 @@ TEST(AtomicTrailerTest, TruncationsOfAtomicRecordAreRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Snapshot message codec: same adversarial treatment -----------------------
+//
+// The snapshot request/reply are the first envelopes with a real byte
+// encoding (CRC-framed, varint-packed). Arbitrary bytes, truncations and
+// checksum-valid doctored frames must all surface as kCorruption.
+
+proto::SnapshotReqMsg RandomReq(Rng& rng) {
+  proto::SnapshotReqMsg req;
+  req.txn = TxnId(rng.NextU64() >> 1);
+  req.ts_packed = rng.NextU64() >> 1;
+  req.origin = SiteId(uint32_t(rng.NextBounded(1000)));
+  req.round = uint32_t(rng.NextBounded(33));
+  size_t n = rng.NextBounded(5);
+  for (size_t i = 0; i < n; ++i) {
+    req.items.push_back(ItemId(uint32_t(rng.NextBounded(1 << 20))));
+  }
+  return req;
+}
+
+proto::SnapshotReplyMsg RandomReply(Rng& rng) {
+  proto::SnapshotReplyMsg reply;
+  reply.txn = TxnId(rng.NextU64() >> 1);
+  reply.from = SiteId(uint32_t(rng.NextBounded(1000)));
+  reply.round = uint32_t(rng.NextBounded(33));
+  reply.ts_packed = rng.NextU64() >> 1;
+  size_t n = rng.NextBounded(4);
+  for (size_t i = 0; i < n; ++i) {
+    proto::SnapshotEntry e;
+    e.item = ItemId(uint32_t(rng.NextBounded(1 << 20)));
+    e.fragment = rng.NextInt(-1'000'000, 1'000'000);
+    e.frag_ts_packed = rng.NextU64() >> 1;
+    e.created_count = rng.NextBounded(1 << 20);
+    e.created_value = rng.NextInt(-1'000'000, 1'000'000);
+    e.accepted_count = rng.NextBounded(1 << 20);
+    e.accepted_value = rng.NextInt(-1'000'000, 1'000'000);
+    e.closed_below = rng.NextBounded(1 << 20);
+    reply.entries.push_back(e);
+  }
+  return reply;
+}
+
+class SnapshotCodecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotCodecFuzzTest, RandomBytesNeverCrashEitherDecoder) {
+  Rng rng(GetParam() + 808);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    std::string bytes = RandomBytes(rng, rng.NextBounded(64));
+    auto req = proto::DecodeSnapshotReq(bytes);
+    if (!req.ok()) EXPECT_EQ(req.status().code(), StatusCode::kCorruption);
+    auto reply = proto::DecodeSnapshotReply(bytes);
+    if (!reply.ok()) {
+      EXPECT_EQ(reply.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST_P(SnapshotCodecFuzzTest, RandomMessagesRoundTrip) {
+  Rng rng(GetParam() + 909);
+  for (int trial = 0; trial < 500; ++trial) {
+    proto::SnapshotReqMsg req = RandomReq(rng);
+    auto dreq = proto::DecodeSnapshotReq(proto::EncodeSnapshotReq(req));
+    ASSERT_TRUE(dreq.ok()) << dreq.status().ToString();
+    EXPECT_EQ(dreq.value(), req);
+    proto::SnapshotReplyMsg reply = RandomReply(rng);
+    auto drep = proto::DecodeSnapshotReply(proto::EncodeSnapshotReply(reply));
+    ASSERT_TRUE(drep.ok()) << drep.status().ToString();
+    EXPECT_EQ(drep.value(), reply);
+  }
+}
+
+TEST_P(SnapshotCodecFuzzTest, TruncationsOfValidFramesAreRejected) {
+  Rng rng(GetParam() + 1'010);
+  std::string req = proto::EncodeSnapshotReq(RandomReq(rng));
+  for (size_t cut = 0; cut < req.size(); ++cut) {
+    EXPECT_FALSE(proto::DecodeSnapshotReq(req.substr(0, cut)).ok())
+        << "accepted a request truncated to " << cut;
+  }
+  std::string reply = proto::EncodeSnapshotReply(RandomReply(rng));
+  for (size_t cut = 0; cut < reply.size(); ++cut) {
+    EXPECT_FALSE(proto::DecodeSnapshotReply(reply.substr(0, cut)).ok())
+        << "accepted a reply truncated to " << cut;
+  }
+}
+
+TEST(SnapshotCodecTest, KindBytesAreNotInterchangeable) {
+  Rng rng(7);
+  std::string req = proto::EncodeSnapshotReq(RandomReq(rng));
+  auto as_reply = proto::DecodeSnapshotReply(req);
+  ASSERT_FALSE(as_reply.ok());
+  EXPECT_NE(as_reply.status().ToString().find("not a reply"),
+            std::string::npos);
+  std::string reply = proto::EncodeSnapshotReply(RandomReply(rng));
+  auto as_req = proto::DecodeSnapshotReq(reply);
+  ASSERT_FALSE(as_req.ok());
+  EXPECT_NE(as_req.status().ToString().find("not a request"),
+            std::string::npos);
+}
+
+TEST(SnapshotCodecTest, TrailingJunkWithValidCrcIsRejected) {
+  // Re-stamp a valid checksum over a body with junk appended: rejection has
+  // to come from content validation, not the CRC.
+  Rng rng(11);
+  std::string framed = proto::EncodeSnapshotReq(RandomReq(rng));
+  std::string body(framed.substr(4));
+  body.push_back('\x07');
+  auto decoded = proto::DecodeSnapshotReq(WithFreshCrc(body));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("trailing bytes"),
+            std::string::npos);
+}
+
+TEST(SnapshotCodecTest, ForgedHugeCountIsRejectedWithoutAllocating) {
+  // A count field claiming more entries than the frame has bytes must be
+  // rejected up front (never trusted for a reserve()).
+  std::string body;
+  body.push_back(2);  // kind: reply
+  PutVarint64(&body, 9);
+  PutVarint64(&body, 1);
+  PutVarint64(&body, 1);
+  PutVarint64(&body, 40);
+  PutVarint64(&body, uint64_t{1} << 50);  // entry count
+  auto decoded = proto::DecodeSnapshotReply(WithFreshCrc(body));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("count exceeds frame"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCodecFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace

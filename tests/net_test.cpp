@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "net/backoff.h"
 #include "net/network.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -293,6 +294,49 @@ TEST(WireBytesTest, LegacyRequestFrameCostIsPinned) {
   p.dst = SiteId(1);
   p.payload = std::make_shared<proto::RequestMsg>(msg);
   EXPECT_EQ(WireBytes(p), kPacketHeaderBytes + kEnvelopeHeaderBytes + 38);
+}
+
+// The snapshot-read messages' modeled wire cost is pinned the same way: a
+// request is header + 24 fixed + 4 per item, a reply header + 24 fixed + 60
+// per stamped entry. E5b's byte ledger is built on these figures.
+TEST(WireBytesTest, SnapshotFrameCostsArePinned) {
+  proto::SnapshotReqMsg req;
+  req.txn = TxnId(7);
+  EXPECT_EQ(req.EncodedSize(), kEnvelopeHeaderBytes + 24);
+  req.items.resize(3);
+  EXPECT_EQ(req.EncodedSize(), kEnvelopeHeaderBytes + 24 + 3 * 4);
+
+  proto::SnapshotReplyMsg reply;
+  reply.txn = TxnId(7);
+  EXPECT_EQ(reply.EncodedSize(), kEnvelopeHeaderBytes + 24);
+  reply.entries.resize(2);
+  EXPECT_EQ(reply.EncodedSize(), kEnvelopeHeaderBytes + 24 + 2 * 60);
+}
+
+// The shared backoff arithmetic is pinned: the transport's retransmission
+// schedule and the read paths' retry pacing both ride these exact values,
+// and the jitter must be a pure function of its salt (no RNG stream).
+TEST(BackoffTest, IntervalDoublesAndCollapsesToTheCap) {
+  EXPECT_EQ(backoff::Interval(10'000, 320'000, 0), 10'000);
+  EXPECT_EQ(backoff::Interval(10'000, 320'000, 1), 20'000);
+  EXPECT_EQ(backoff::Interval(10'000, 320'000, 5), 320'000);
+  EXPECT_EQ(backoff::Interval(10'000, 320'000, 6), 320'000);   // past cap
+  EXPECT_EQ(backoff::Interval(10'000, 320'000, 63), 320'000);  // clamped exp
+  EXPECT_EQ(backoff::Interval(1, 2'000'000'000, 30), 1 << 30);
+}
+
+TEST(BackoffTest, JitterIsDeterministicAndBounded) {
+  for (SimTime interval : {SimTime{4}, SimTime{10'000}, SimTime{320'000}}) {
+    for (uint64_t salt = 0; salt < 64; ++salt) {
+      SimTime a = backoff::Jittered(interval, salt);
+      SimTime b = backoff::Jittered(interval, salt);
+      EXPECT_EQ(a, b);  // pure function of (interval, salt)
+      EXPECT_GE(a, interval);
+      EXPECT_LE(a, interval + interval / 4);
+    }
+  }
+  // Distinct salts actually spread (the anti-thundering-herd point).
+  EXPECT_NE(backoff::Jittered(320'000, 1), backoff::Jittered(320'000, 2));
 }
 
 // WireSize is computed once and cached; flipping a flag afterwards must not
