@@ -1,0 +1,172 @@
+// bench_realtime — the real-runtime smoke driver (CI's realtime-smoke leg).
+//
+// Not an experiment: a correctness gate. The same E4-style hot-counter
+// workload (increment/decrement ±1..3 against one aggregate item, 4 sites)
+// runs twice from one deterministic op list —
+//   1. on runtime::Real: one OS thread and one loopback UDP socket per
+//      site, wall-clock pacing, the packet byte codec on the wire;
+//   2. on the sim kernel: the deterministic oracle, same spec, virtual
+//      pacing.
+// The driver then cross-checks: the real run must settle >= 99% of the
+// transactions as commits, the sim run must commit them all, and BOTH
+// clusters must pass the durable conservation audit. Any miss exits
+// non-zero. This is the "same protocol sources, different runtime" claim
+// made executable.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "system/real_cluster.h"
+
+namespace dvp::bench {
+namespace {
+
+constexpr uint32_t kNumSites = 4;
+constexpr uint32_t kNumTxns = 1000;
+constexpr core::Value kInitial = 1'000'000;  // conflicts, never drain
+constexpr SimTime kPaceUs = 500;             // one submission per 500 us
+constexpr SimTime kSettleDeadlineUs = 30'000'000;
+
+struct Op {
+  SiteId at;
+  bool down;            // decrement vs increment
+  core::Value amount;   // 1..3
+  SimTime submit_us;    // offset from run start
+};
+
+std::vector<Op> MakeOps(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(kNumTxns);
+  SimTime t = 0;
+  for (uint32_t i = 0; i < kNumTxns; ++i) {
+    t += kPaceUs;
+    ops.push_back(Op{SiteId(rng.NextInt(0, kNumSites - 1)),
+                     rng.NextBool(0.5), rng.NextInt(1, 3), t});
+  }
+  return ops;
+}
+
+txn::TxnSpec SpecFor(const Op& op) {
+  txn::TxnSpec spec;
+  txn::TxnOp top;
+  top.item = ItemId(0);
+  top.kind =
+      op.down ? txn::TxnOp::Kind::kDecrement : txn::TxnOp::Kind::kIncrement;
+  top.amount = op.amount;
+  spec.ops.push_back(top);
+  spec.label = "smoke";
+  return spec;
+}
+
+struct Tally {
+  uint64_t committed = 0;
+  uint64_t decided = 0;
+  bool audit_ok = false;
+};
+
+Tally RunReal(const std::vector<Op>& ops, uint64_t seed) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(1, kInitial, &items);
+  system::RealClusterOptions opts;
+  opts.num_sites = kNumSites;
+  opts.seed = seed;
+  system::RealCluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+  cluster.Start();
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> decided{0};
+  auto start = std::chrono::steady_clock::now();
+  for (const Op& op : ops) {
+    std::this_thread::sleep_until(start +
+                                  std::chrono::microseconds(op.submit_us));
+    cluster.Submit(op.at, SpecFor(op),
+                   [&committed, &decided](const txn::TxnResult& r) {
+                     if (r.committed()) {
+                       committed.fetch_add(1, std::memory_order_relaxed);
+                     }
+                     decided.fetch_add(1, std::memory_order_relaxed);
+                   });
+  }
+  auto deadline = start + std::chrono::microseconds(kSettleDeadlineUs);
+  while (decided.load(std::memory_order_relaxed) < kNumTxns &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cluster.Stop();
+
+  Tally tally;
+  tally.committed = committed.load();
+  tally.decided = decided.load();
+  tally.audit_ok = cluster.AuditAll().ok();
+  return tally;
+}
+
+Tally RunSim(const std::vector<Op>& ops, uint64_t seed) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(1, kInitial, &items);
+  system::ClusterOptions opts;
+  opts.num_sites = kNumSites;
+  opts.seed = seed;
+  system::Cluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+
+  Tally tally;
+  for (const Op& op : ops) {
+    cluster.kernel().ScheduleAt(op.submit_us, [&cluster, &tally, op]() {
+      auto id = cluster.Submit(op.at, SpecFor(op),
+                               [&tally](const txn::TxnResult& r) {
+                                 if (r.committed()) ++tally.committed;
+                                 ++tally.decided;
+                               });
+      (void)id;
+    });
+  }
+  cluster.RunUntilQuiescent(kSettleDeadlineUs);
+  tally.audit_ok = cluster.AuditAll().ok();
+  return tally;
+}
+
+int Main() {
+  constexpr uint64_t kSeed = 20260808;
+  std::vector<Op> ops = MakeOps(kSeed);
+
+  std::printf("bench_realtime: %u txns, %u sites, hot counter, pace %lld us\n",
+              kNumTxns, kNumSites, static_cast<long long>(kPaceUs));
+  Tally real = RunReal(ops, kSeed);
+  Tally sim = RunSim(ops, kSeed);
+
+  std::printf("  real: decided %llu/%u, committed %llu, conservation %s\n",
+              static_cast<unsigned long long>(real.decided), kNumTxns,
+              static_cast<unsigned long long>(real.committed),
+              real.audit_ok ? "OK" : "VIOLATED");
+  std::printf("  sim:  decided %llu/%u, committed %llu, conservation %s\n",
+              static_cast<unsigned long long>(sim.decided), kNumTxns,
+              static_cast<unsigned long long>(sim.committed),
+              sim.audit_ok ? "OK" : "VIOLATED");
+
+  bool ok = true;
+  if (real.committed * 100 < uint64_t{kNumTxns} * 99) {
+    std::printf("FAIL: real runtime committed < 99%%\n");
+    ok = false;
+  }
+  if (sim.committed != kNumTxns) {
+    std::printf("FAIL: sim oracle did not commit every transaction\n");
+    ok = false;
+  }
+  if (!real.audit_ok || !sim.audit_ok) {
+    std::printf("FAIL: conservation audit\n");
+    ok = false;
+  }
+  if (ok) std::printf("bench_realtime: PASS\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dvp::bench
+
+int main() { return dvp::bench::Main(); }

@@ -23,23 +23,30 @@ inline uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Exponential backoff, capped (the "retransmission cap"): base_us << exp,
-/// collapsed to max_us when the shift exceeds 30, overflows, or passes the
-/// cap — shifts beyond the cap would overflow and an unreachable peer needs
-/// no finer schedule.
+/// Exponential backoff, capped (the "retransmission cap"): base_us doubled
+/// `exp` times, collapsed to max_us once the doubled interval would pass the
+/// cap — an unreachable peer needs no finer schedule. The would-it-pass test
+/// is `base_us > max_us >> exp`, checked BEFORE any shift: the old
+/// `base_us << exp` probe was a signed left shift that overflows (UB) for
+/// large bases before its own `interval <= 0` guard could run. Degenerate
+/// inputs (base or cap <= 0) collapse to the cap, matching the old guard.
 inline SimTime Interval(SimTime base_us, SimTime max_us, uint32_t exp) {
   exp = std::min(exp, uint32_t{30});
-  SimTime interval = base_us << exp;
-  if (interval <= 0 || interval > max_us) interval = max_us;
-  return interval;
+  if (base_us <= 0 || max_us <= 0) return max_us;
+  if (base_us > (max_us >> exp)) return max_us;
+  return base_us << exp;  // cannot overflow: base_us <= max_us >> exp
 }
 
-/// Adds deterministic jitter in [0, interval/4] derived from `salt`: spreads
-/// retriers so a heal does not trigger a synchronised burst.
-inline SimTime Jittered(SimTime interval, uint64_t salt) {
-  return interval +
-         static_cast<SimTime>(Mix(salt) %
-                              static_cast<uint64_t>(interval / 4 + 1));
+/// Adds deterministic jitter in [0, interval/4] derived from `salt`, clamped
+/// to `max_us`: spreads retriers so a heal does not trigger a synchronised
+/// burst, without letting a maxed-out retrier wait past the documented cap
+/// (jitter on top of an already-capped interval used to stretch the wait to
+/// 1.25 * max_us).
+inline SimTime Jittered(SimTime interval, SimTime max_us, uint64_t salt) {
+  SimTime jittered =
+      interval + static_cast<SimTime>(
+                     Mix(salt) % static_cast<uint64_t>(interval / 4 + 1));
+  return std::min(jittered, max_us);
 }
 
 }  // namespace dvp::net::backoff

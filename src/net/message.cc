@@ -1,5 +1,8 @@
 #include "net/message.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace dvp::net {
 
 namespace {
@@ -9,12 +12,16 @@ namespace {
 /// how much recycling the pool achieves.
 class CountingUpstream final : public std::pmr::memory_resource {
  public:
-  EnvelopePoolStats stats;
+  // Atomics: the pool refills from any site's loop thread on the real
+  // runtime; NoteEnvelopeAllocated races with them by design.
+  std::atomic<uint64_t> envelopes{0};
+  std::atomic<uint64_t> upstream_allocations{0};
+  std::atomic<uint64_t> upstream_bytes{0};
 
  private:
   void* do_allocate(size_t bytes, size_t alignment) override {
-    ++stats.upstream_allocations;
-    stats.upstream_bytes += bytes;
+    upstream_allocations.fetch_add(1, std::memory_order_relaxed);
+    upstream_bytes.fetch_add(bytes, std::memory_order_relaxed);
     return std::pmr::new_delete_resource()->allocate(bytes, alignment);
   }
   void do_deallocate(void* p, size_t bytes, size_t alignment) override {
@@ -31,21 +38,59 @@ CountingUpstream& Upstream() {
   return upstream;
 }
 
+/// Serializes an unsynchronized pool instead of using
+/// std::pmr::synchronized_pool_resource: the two differ in chunk-growth
+/// policy, and the pinned bench JSONs (BENCH_scale.json) fix the exact
+/// upstream-allocation count of the unsynchronized pool. The mutex gives the
+/// real runtime's loop threads the same safety — a shared_ptr released on a
+/// different thread than it was allocated on still returns its block under
+/// the lock — while the sim pays one uncontended lock per allocation.
+class LockedPool final : public std::pmr::memory_resource {
+ public:
+  explicit LockedPool(std::pmr::memory_resource* upstream) : pool_(upstream) {}
+
+ private:
+  void* do_allocate(size_t bytes, size_t alignment) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pool_.allocate(bytes, alignment);
+  }
+  void do_deallocate(void* p, size_t bytes, size_t alignment) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool_.deallocate(p, bytes, alignment);
+  }
+  bool do_is_equal(const std::pmr::memory_resource& other) const
+      noexcept override {
+    return this == &other;
+  }
+
+  std::mutex mu_;
+  std::pmr::unsynchronized_pool_resource pool_;
+};
+
 }  // namespace
 
 std::pmr::memory_resource* EnvelopePool() {
   // Never destroyed: envelopes are shared across sites and a bench may hold
   // metrics snapshots past cluster teardown, so the arena must outlive every
   // possible shared_ptr. A leaked singleton is the standard answer.
-  static auto* pool =
-      new std::pmr::unsynchronized_pool_resource(&Upstream());
+  static auto* pool = new LockedPool(&Upstream());
   return pool;
 }
 
-const EnvelopePoolStats& PoolStats() { return Upstream().stats; }
+EnvelopePoolStats PoolStats() {
+  CountingUpstream& up = Upstream();
+  EnvelopePoolStats stats;
+  stats.envelopes = up.envelopes.load(std::memory_order_relaxed);
+  stats.upstream_allocations =
+      up.upstream_allocations.load(std::memory_order_relaxed);
+  stats.upstream_bytes = up.upstream_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
 
 namespace internal {
-void NoteEnvelopeAllocated() { ++Upstream().stats.envelopes; }
+void NoteEnvelopeAllocated() {
+  Upstream().envelopes.fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace internal
 
 }  // namespace dvp::net

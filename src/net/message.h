@@ -73,7 +73,9 @@ struct EnvelopePoolStats {
 /// shared_ptrs crossing sites never outlive their arena; unsynchronized is
 /// fine because the simulation is single-threaded.
 std::pmr::memory_resource* EnvelopePool();
-const EnvelopePoolStats& PoolStats();
+/// Snapshot of the pool counters (by value: on the real runtime the counters
+/// are atomics updated from every site's loop thread).
+EnvelopePoolStats PoolStats();
 
 namespace internal {
 void NoteEnvelopeAllocated();

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "net/conduit.h"
 #include "net/link.h"
 #include "net/message.h"
 #include "net/partition.h"
@@ -37,12 +38,7 @@ struct NetworkStats {
   uint64_t bytes_delivered = 0;  ///< bytes that reached a live endpoint
 };
 
-/// Callback a site registers to receive packets. A site that is crashed
-/// deregisters (or returns false from its liveness probe) and in-flight
-/// packets addressed to it are dropped.
-using DeliveryFn = std::function<void(const Packet&)>;
-
-class Network {
+class Network final : public Conduit {
  public:
   /// All links start with `default_link`; individual pairs can be overridden
   /// via SetLinkParams.
@@ -52,17 +48,17 @@ class Network {
   /// Registers the delivery callback for a site. `is_up` gates delivery so a
   /// crashed site silently loses incoming packets.
   void RegisterEndpoint(SiteId site, DeliveryFn deliver,
-                        std::function<bool()> is_up);
+                        std::function<bool()> is_up) override;
 
   /// Sends a packet. Never fails from the caller's perspective: loss is
   /// silent, exactly as the paper's model demands (no undeliverable-message
   /// notifications).
-  void Send(Packet packet);
+  void Send(Packet packet) override;
 
   /// Broadcast helper used by Conc2: delivers copies of the payload to every
   /// other site with identical, loss-free timing (the atomic ordered
   /// broadcast assumed in §6.2). Requires synchronous link params.
-  void Broadcast(SiteId src, EnvelopePtr payload);
+  void Broadcast(SiteId src, EnvelopePtr payload) override;
 
   /// Overrides the fault model of the directed link src→dst.
   void SetLinkParams(SiteId src, SiteId dst, LinkParams params);
@@ -73,7 +69,7 @@ class Network {
   const PartitionOracle& partition() const { return partition_; }
 
   const NetworkStats& stats() const { return stats_; }
-  uint32_t num_sites() const { return num_sites_; }
+  uint32_t num_sites() const override { return num_sites_; }
   sim::Kernel* kernel() { return kernel_; }
 
  private:

@@ -10,11 +10,11 @@
 
 namespace dvp::net {
 
-Transport::Transport(sim::Kernel* kernel, Network* network, SiteId self,
+Transport::Transport(runtime::Runtime* rt, Conduit* conduit, SiteId self,
                      obs::MetricsRegistry* metrics, Options options,
                      obs::TraceRecorder* trace)
-    : kernel_(kernel),
-      network_(network),
+    : rt_(rt),
+      conduit_(conduit),
       self_(self),
       trace_(trace),
       options_(options),
@@ -71,7 +71,7 @@ void Transport::SendOnWire(Packet&& p) {
     trace_->Instant(self_, obs::Track::kNet, "net.send", p.trace_id, "dst",
                     p.dst.value(), "seq", p.seq.valid() ? p.seq.value() : 0);
   }
-  network_->Send(std::move(p));
+  conduit_->Send(std::move(p));
 }
 
 void Transport::Stage(SiteId dst, Reliability reliability, uint64_t seq,
@@ -80,7 +80,7 @@ void Transport::Stage(SiteId dst, Reliability reliability, uint64_t seq,
   if (flush_armed_) return;
   flush_armed_ = true;
   uint64_t gen = generation_;
-  kernel_->Schedule(0, [this, gen, alive = alive_]() {
+  rt_->Schedule(0, [this, gen, alive = alive_]() {
     if (!*alive || gen != generation_) return;
     flush_armed_ = false;
     FlushStaging();
@@ -175,7 +175,7 @@ void Transport::SendReliable(SiteId dst, uint64_t token,
   token_index_.emplace(token, std::make_pair(dst, seq));
   po.pending.emplace(seq, PendingSend{token, payload, /*sends=*/1});
   if (po.pending.size() == 1) {
-    po.next_due = kernel_->Now() + JitteredInterval(dst, po);
+    po.next_due = rt_->Now() + JitteredInterval(dst, po);
   }
   SendPacket(dst, seq, payload);
   ArmTimer();
@@ -191,7 +191,7 @@ void Transport::CancelReliable(uint64_t token) {
 }
 
 void Transport::Broadcast(EnvelopePtr payload) {
-  network_->Broadcast(self_, std::move(payload));
+  conduit_->Broadcast(self_, std::move(payload));
 }
 
 void Transport::ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum) {
@@ -208,7 +208,7 @@ void Transport::ProcessAck(SiteId from, uint64_t ack_epoch, uint64_t ack_cum) {
     po.pending.erase(po.pending.begin());
   }
   if (!completed.empty() && !po.pending.empty()) {
-    po.next_due = kernel_->Now() + JitteredInterval(from, po);
+    po.next_due = rt_->Now() + JitteredInterval(from, po);
   }
   for (uint64_t token : completed) {
     if (trace_) {
@@ -224,7 +224,7 @@ void Transport::OweAck(SiteId src) {
   if (pi.ack_owed) return;  // pure ack already armed
   pi.ack_owed = true;
   uint64_t gen = generation_;
-  pi.ack_timer = kernel_->Schedule(options_.ack_delay_us,
+  pi.ack_timer = rt_->Schedule(options_.ack_delay_us,
                                    [this, gen, src, alive = alive_]() {
     if (!*alive || gen != generation_) return;
     auto it = in_.find(src);
@@ -356,7 +356,7 @@ SimTime Transport::IntervalFor(const PeerOut& po) const {
 SimTime Transport::JitteredInterval(SiteId peer, const PeerOut& po) const {
   uint64_t salt = (uint64_t{self_.value()} << 40) ^
                   (uint64_t{peer.value()} << 20) ^ po.rounds;
-  return backoff::Jittered(IntervalFor(po), salt);
+  return backoff::Jittered(IntervalFor(po), options_.rto_max_us, salt);
 }
 
 void Transport::ArmTimer() {
@@ -370,7 +370,7 @@ void Transport::ArmTimer() {
   timer_armed_ = true;
   armed_at_ = due;
   uint64_t gen = generation_;
-  kernel_->ScheduleAt(std::max(due, kernel_->Now()),
+  rt_->ScheduleAt(std::max(due, rt_->Now()),
                       [this, gen, due, alive = alive_]() {
     if (!*alive || gen != generation_) return;
     if (!timer_armed_ || armed_at_ != due) return;  // superseded
@@ -380,7 +380,7 @@ void Transport::ArmTimer() {
 }
 
 void Transport::OnTimer() {
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   for (auto& [peer, po] : out_) {
     if (po.pending.empty() || po.next_due > now) continue;
     // Retransmit the oldest unacked burst with their ORIGINAL seqs — the

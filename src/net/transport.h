@@ -44,9 +44,9 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
-#include "net/network.h"
+#include "net/conduit.h"
 #include "obs/metrics.h"
-#include "sim/kernel.h"
+#include "runtime/runtime.h"
 
 namespace dvp::obs {
 class TraceRecorder;
@@ -88,7 +88,7 @@ class Transport {
     uint32_t max_frame_hints = 0;
   };
 
-  Transport(sim::Kernel* kernel, Network* network, SiteId self,
+  Transport(runtime::Runtime* rt, Conduit* conduit, SiteId self,
             obs::MetricsRegistry* metrics, Options options,
             obs::TraceRecorder* trace = nullptr);
   ~Transport();
@@ -197,7 +197,7 @@ class Transport {
     /// The armed pure-ack event; cancelled outright when the ack piggybacks
     /// on an outgoing frame first, so the kernel queue is not left churning
     /// through tombstone wakeups on busy channels.
-    sim::EventHandle ack_timer;
+    runtime::TimerHandle ack_timer;
   };
 
   /// One staged message awaiting the coalescing flush.
@@ -230,8 +230,8 @@ class Transport {
   SimTime JitteredInterval(SiteId peer, const PeerOut& po) const;
   void NoteDedupSize();
 
-  sim::Kernel* kernel_;
-  Network* network_;
+  runtime::Runtime* rt_;
+  Conduit* conduit_;
   SiteId self_;
   obs::TraceRecorder* trace_;
   Options options_;

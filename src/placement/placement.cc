@@ -5,13 +5,13 @@
 namespace dvp::placement {
 
 PlacementManager::PlacementManager(SiteId self, uint32_t num_sites,
-                                   sim::Kernel* kernel,
+                                   runtime::Runtime* rt,
                                    core::ValueStore* store,
                                    obs::MetricsRegistry* metrics,
                                    PlacementOptions options)
     : self_(self),
       num_sites_(num_sites),
-      kernel_(kernel),
+      rt_(rt),
       store_(store),
       options_(options),
       m_hint_observed_(obs::CounterIn(metrics, "placement.hint.observed")),
@@ -69,7 +69,7 @@ std::vector<net::PlacementHint> PlacementManager::AdvertsFor(SiteId dst) {
   (void)dst;  // advertisements describe only the sender; same for every peer
   std::vector<net::PlacementHint> out;
   if (options_.hints_per_frame == 0 || advert_ring_.empty()) return out;
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   uint64_t stamp = static_cast<uint64_t>(now);
   // At most one lap over the ring as it stood on entry; each step either
   // emits/keeps (cursor advances) or retires a drained entry (ring shrinks).
@@ -98,7 +98,7 @@ std::vector<net::PlacementHint> PlacementManager::AdvertsFor(SiteId dst) {
 void PlacementManager::OnHints(SiteId src,
                                const std::vector<net::PlacementHint>& hints) {
   if (src == self_ || src.value() >= num_sites_) return;
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   for (const net::PlacementHint& h : hints) {
     if (h.item.value() >= store_->num_items()) continue;
     HintRow& row = cache_[h.item.value()];
@@ -122,7 +122,7 @@ std::vector<PlacementManager::Target> PlacementManager::RankTargets(
     ItemId item) {
   std::vector<Target> out;
   if (item.value() >= store_->num_items()) return out;
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   auto row = cache_.find(item.value());
   if (row != cache_.end()) {
     for (const auto& [site, h] : row->second) {
@@ -153,7 +153,7 @@ void PlacementManager::NoteShipped(SiteId src, ItemId item,
   auto it = row->second.find(src.value());
   if (it == row->second.end()) return;  // never advertised; nothing to correct
   it->second.surplus = std::max<core::Value>(0, it->second.surplus - amount);
-  it->second.seen_at = kernel_->Now();  // a shipment is fresh direct evidence
+  it->second.seen_at = rt_->Now();  // a shipment is fresh direct evidence
 }
 
 void PlacementManager::NoteEmpty(SiteId src, ItemId item) {
@@ -167,7 +167,7 @@ void PlacementManager::NoteEmpty(SiteId src, ItemId item) {
     cache_entries_peak_ = std::max(cache_entries_peak_, cache_entry_count_);
   }
   it->second.surplus = 0;
-  it->second.seen_at = kernel_->Now();
+  it->second.seen_at = rt_->Now();
   m_hint_empty_->Inc();
 }
 
@@ -182,9 +182,9 @@ void PlacementManager::DecayInPlace(Demand& d, SimTime now) const {
 void PlacementManager::BumpDemand(ItemId item, core::Value amount) {
   if (amount <= 0 || item.value() >= store_->num_items()) return;
   Demand& d = demand_[item.value()];
-  DecayInPlace(d, kernel_->Now());
+  DecayInPlace(d, rt_->Now());
   d.level_q8 += amount << 8;
-  if (d.level_q8 == amount << 8) d.updated_at = kernel_->Now();
+  if (d.level_q8 == amount << 8) d.updated_at = rt_->Now();
   TouchAdvert(item.value());  // demand alone makes an item worth advertising
 }
 
@@ -202,7 +202,7 @@ core::Value PlacementManager::LocalDemand(ItemId item) const {
   auto it = demand_.find(item.value());
   if (it == demand_.end()) return 0;
   Demand d = it->second;
-  DecayInPlace(d, kernel_->Now());
+  DecayInPlace(d, rt_->Now());
   return static_cast<core::Value>(d.level_q8 >> 8);
 }
 
@@ -216,7 +216,7 @@ void PlacementManager::ArmTick() {
   // all landing on the same instants (deterministic: no RNG draw).
   SimTime delay = options_.rebalance_interval_us +
                   static_cast<SimTime>(self_.value()) * 997;
-  kernel_->Schedule(delay, [this, alive = alive_]() {
+  rt_->Schedule(delay, [this, alive = alive_]() {
     if (!*alive) return;
     Tick();
     ArmTick();
@@ -225,7 +225,7 @@ void PlacementManager::ArmTick() {
 
 void PlacementManager::Tick() {
   if (!send_value_fn_ || cache_.empty()) return;
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   // A hint row untouched this long is dead weight: evict rather than let the
   // cache grow monotonically with every item ever hinted.
   SimTime evict_after = options_.hint_staleness_us *
@@ -273,7 +273,7 @@ bool PlacementManager::TryPush(ItemId item, HintRow& row) {
   // Hottest fresh peer: largest unmet demand (advertised demand beyond what
   // the peer already holds), strictly hotter than we are. The row is ordered
   // by site id and the comparison strict, so the lowest site wins ties.
-  SimTime now = kernel_->Now();
+  SimTime now = rt_->Now();
   CachedHint* best = nullptr;
   SiteId best_site = SiteId::Invalid();
   core::Value best_need = 0;

@@ -46,7 +46,7 @@
 #include "dvpcore/value_store.h"
 #include "net/message.h"
 #include "obs/metrics.h"
-#include "sim/kernel.h"
+#include "runtime/runtime.h"
 
 namespace dvp::placement {
 
@@ -89,7 +89,7 @@ class PlacementManager {
     core::Value surplus = 0;
   };
 
-  PlacementManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+  PlacementManager(SiteId self, uint32_t num_sites, runtime::Runtime* rt,
                    core::ValueStore* store, obs::MetricsRegistry* metrics,
                    PlacementOptions options);
   ~PlacementManager();
@@ -194,7 +194,7 @@ class PlacementManager {
 
   SiteId self_;
   uint32_t num_sites_;
-  sim::Kernel* kernel_;
+  runtime::Runtime* rt_;
   core::ValueStore* store_;
   PlacementOptions options_;
 

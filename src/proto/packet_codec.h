@@ -1,0 +1,41 @@
+// Byte codec for whole net::Packet frames — the real-runtime counterpart of
+// the simulator's modeled byte ledger. The sim network ships packets as
+// shared C++ objects and only *costs* them via EncodedSize/WireBytes; the
+// UDP conduit (runtime/real.h) must actually cross an address space, so every
+// envelope kind the protocol exchanges gets a real encoding here.
+//
+// Frame layout mirrors the snapshot codec and wal::EncodeRecord: fixed32
+// CRC32C over the body, then the body — packet transport fields as varints
+// (zigzag for signed values), piggybacked hints, then the primary payload and
+// each coalesced rider as length-prefixed envelope blobs. An envelope blob is
+// a kind byte (one per proto message type; snapshot messages nest their
+// existing standalone frames) followed by the message fields. Decoding is
+// defensive end to end: arbitrary bytes — truncations, forged counts, bad
+// checksums, unknown kinds, trailing garbage — surface as Status::Corruption,
+// never undefined behaviour, because a real socket can hand us anything.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace dvp::proto {
+
+/// Serializes one envelope (kind byte + fields). Used for packet payloads and
+/// riders; exposed for tests. Returns an empty string for envelope types the
+/// codec does not know (nothing in the protocol sends such a payload).
+std::string EncodeEnvelope(const net::Envelope& env);
+
+/// Decodes an envelope blob produced by EncodeEnvelope.
+StatusOr<net::EnvelopePtr> DecodeEnvelope(std::string_view blob);
+
+/// Serializes a whole packet: transport header, ack, hints, payload, riders.
+std::string EncodePacket(const net::Packet& packet);
+
+/// Decodes a frame produced by EncodePacket. Rejects (kCorruption) bad
+/// checksums, truncations, unknown envelope kinds, and trailing garbage.
+StatusOr<net::Packet> DecodePacket(std::string_view frame);
+
+}  // namespace dvp::proto

@@ -1,0 +1,351 @@
+#include "runtime/real.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include "net/backoff.h"
+#include "proto/packet_codec.h"
+
+namespace dvp::runtime {
+
+namespace {
+
+/// Largest UDP payload we ever put on the wire. Loopback takes close to
+/// 64 KiB; coalesced DvP frames are a few hundred bytes, so a frame that
+/// exceeds this is a bug upstream — it is dropped and counted, not split.
+constexpr size_t kMaxDatagram = 65000;
+
+/// poll() ceiling so the loop re-checks its stop flag even if a wakeup write
+/// were ever lost; normal shutdown is pipe-driven and immediate.
+constexpr int kMaxPollMs = 100;
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// ---- EventLoop -------------------------------------------------------------
+
+EventLoop::EventLoop(Clock::time_point epoch, std::string name)
+    : epoch_(epoch), name_(std::move(name)) {
+  [[maybe_unused]] int rc = ::pipe(wake_fds_);
+  assert(rc == 0 && "pipe() failed");
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+SimTime EventLoop::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+TimerHandle EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  auto state = std::make_shared<TimerState>();
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The new timer needs a wakeup only when it becomes the earliest —
+    // otherwise the loop's current poll deadline already covers it.
+    wake = heap_.empty() || when < heap_.front().when;
+    heap_.push_back(Timer{when, next_seq_++, std::move(fn), state});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  if (wake && started_.load(std::memory_order_acquire) && !OnLoopThread()) {
+    Wake();
+  }
+  return TimerHandle(std::move(state));
+}
+
+void EventLoop::RegisterFd(int fd, std::function<void()> on_readable) {
+  assert(!running() && "RegisterFd must precede Start()");
+  SetNonBlocking(fd);
+  fd_handlers_.push_back(FdHandler{fd, std::move(on_readable)});
+}
+
+void EventLoop::Start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  assert(!OnLoopThread() && "a loop cannot join itself");
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  started_.store(false, std::memory_order_release);
+}
+
+void EventLoop::Wake() {
+  char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+bool EventLoop::PopDue(SimTime now, Timer* out, SimTime* next_when) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!heap_.empty()) {
+    Timer& top = heap_.front();
+    if (top.state->cancelled.load(std::memory_order_acquire)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.back().state->Retire();
+      heap_.pop_back();
+      continue;
+    }
+    if (top.when > now) {
+      *next_when = top.when;
+      return false;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    *out = std::move(heap_.back());
+    heap_.pop_back();
+    out->state->Retire();
+    return true;
+  }
+  *next_when = kSimTimeMax;
+  return false;
+}
+
+void EventLoop::Run() {
+  std::vector<pollfd> pfds;
+  pfds.reserve(1 + fd_handlers_.size());
+  while (true) {
+    // Drain every due timer, re-reading the clock as we go: a callback may
+    // schedule an immediate follow-up that is due in the same pass.
+    SimTime next_when = kSimTimeMax;
+    Timer timer;
+    while (PopDue(Now(), &timer, &next_when)) {
+      // Cancelled-after-pop is indistinguishable from cancelled-after-fire
+      // (the documented race); run it — PopDue filtered the settled cases.
+      timer.fn();
+      timers_fired_.fetch_add(1, std::memory_order_relaxed);
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    int timeout_ms = kMaxPollMs;
+    if (next_when != kSimTimeMax) {
+      SimTime delta_us = next_when - Now();
+      if (delta_us <= 0) {
+        timeout_ms = 0;
+      } else {
+        timeout_ms = static_cast<int>(
+            std::min<SimTime>((delta_us + 999) / 1000, kMaxPollMs));
+      }
+    }
+
+    pfds.clear();
+    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    for (const FdHandler& h : fd_handlers_) {
+      pfds.push_back(pollfd{h.fd, POLLIN, 0});
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      assert(false && "poll() failed");
+      return;
+    }
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+      }
+    }
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        fd_handlers_[i - 1].on_readable();
+        if (stop_.load(std::memory_order_acquire)) return;
+      }
+    }
+  }
+}
+
+// ---- UdpConduit ------------------------------------------------------------
+
+UdpConduit::UdpConduit(std::vector<EventLoop*> loops, Options options)
+    : loops_(std::move(loops)), options_(options) {
+  uint32_t n = num_sites();
+  fds_.resize(n, -1);
+  ports_.resize(n, 0);
+  endpoints_.resize(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    assert(fd >= 0 && "socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    [[maybe_unused]] int rc =
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    assert(rc == 0 && "bind() failed");
+    socklen_t len = sizeof addr;
+    rc = ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    assert(rc == 0 && "getsockname() failed");
+    fds_[s] = fd;
+    ports_[s] = ntohs(addr.sin_port);
+    loops_[s]->RegisterFd(fd, [this, s] { DrainSocket(s); });
+  }
+}
+
+UdpConduit::~UdpConduit() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void UdpConduit::RegisterEndpoint(SiteId site, net::DeliveryFn deliver,
+                                  std::function<bool()> is_up) {
+  assert(site.value() < endpoints_.size());
+  endpoints_[site.value()] =
+      Endpoint{std::move(deliver), std::move(is_up)};
+}
+
+void UdpConduit::Send(net::Packet packet) {
+  assert(packet.dst.value() < fds_.size());
+  if (options_.drop_one_in > 0) {
+    // Hash the counter instead of taking it mod N: a plain modulus drops a
+    // strictly periodic pattern, which can phase-lock with periodic traffic
+    // (a fixed-size retransmit burst followed by one pure ack loses the ack
+    // every round — a livelock no real network produces). The hash keeps the
+    // 1/N rate and the determinism without the periodicity.
+    uint64_t n = send_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (net::backoff::Mix(n) % options_.drop_one_in == 0) {
+      datagrams_dropped_injected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::string frame = proto::EncodePacket(packet);
+  if (frame.size() > kMaxDatagram) {
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to.sin_port = htons(ports_[packet.dst.value()]);
+  ssize_t n = ::sendto(fds_[packet.src.value()], frame.data(), frame.size(),
+                       0, reinterpret_cast<sockaddr*>(&to), sizeof to);
+  if (n == static_cast<ssize_t>(frame.size())) {
+    datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // ENOBUFS/EMSGSIZE/anything: the wire ate it. Loss is silent by
+    // contract; the transport's retransmissions carry the reliable classes.
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void UdpConduit::Broadcast(SiteId src, net::EnvelopePtr payload) {
+  for (uint32_t s = 0; s < num_sites(); ++s) {
+    if (s == src.value()) continue;
+    net::Packet p;
+    p.src = src;
+    p.dst = SiteId(s);
+    p.reliability = net::Reliability::kDatagram;
+    p.trace_id = payload ? payload->trace_id : 0;
+    p.payload = payload;
+    Send(std::move(p));
+  }
+}
+
+void UdpConduit::DrainSocket(uint32_t site) {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = ::recv(fds_[site], buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient socket error: treat as loss
+    }
+    datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+    StatusOr<net::Packet> packet =
+        proto::DecodePacket(std::string_view(buf, static_cast<size_t>(n)));
+    if (!packet.ok()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const Endpoint& ep = endpoints_[site];
+    if (!ep.deliver || (ep.is_up && !ep.is_up())) {
+      dropped_down_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ep.deliver(*packet);
+  }
+}
+
+uint16_t UdpConduit::port(SiteId site) const {
+  assert(site.value() < ports_.size());
+  return ports_[site.value()];
+}
+
+UdpConduit::Stats UdpConduit::stats() const {
+  Stats s;
+  s.datagrams_sent = datagrams_sent_.load(std::memory_order_relaxed);
+  s.datagrams_dropped_injected =
+      datagrams_dropped_injected_.load(std::memory_order_relaxed);
+  s.send_errors = send_errors_.load(std::memory_order_relaxed);
+  s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.dropped_down = dropped_down_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---- Real ------------------------------------------------------------------
+
+Real::Real(uint32_t num_sites, Options options)
+    : epoch_(EventLoop::Clock::now()) {
+  loops_.reserve(num_sites);
+  std::vector<EventLoop*> raw;
+  raw.reserve(num_sites);
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        epoch_, "site-" + std::to_string(s)));
+    raw.push_back(loops_.back().get());
+  }
+  conduit_ = std::make_unique<UdpConduit>(std::move(raw), options.net);
+}
+
+Real::~Real() { Stop(); }
+
+SimTime Real::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             EventLoop::Clock::now() - epoch_)
+      .count();
+}
+
+void Real::Start() {
+  for (auto& loop : loops_) loop->Start();
+}
+
+void Real::Stop() {
+  for (auto& loop : loops_) loop->Stop();
+}
+
+void Real::RunOn(SiteId site, std::function<void()> fn) {
+  std::promise<void> done;
+  std::future<void> wait = done.get_future();
+  loop(site).Post([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  wait.get();
+}
+
+}  // namespace dvp::runtime

@@ -1,0 +1,108 @@
+// The runtime seam: the clock-and-timer interface every protocol layer
+// (site/, txn/, vm/, placement/, net/transport, wal/group_commit) programs
+// against, so the identical protocol sources compile against either backend:
+//
+//  * sim::Kernel — the deterministic discrete-event kernel. Single-threaded,
+//    virtual time, a run is a pure function of (seed, schedule). Still the
+//    correctness oracle: the chaos swarm and every pinned bench stay here.
+//  * runtime::EventLoop (runtime/real.h) — one OS thread per site, a
+//    monotonic steady clock, poll()-driven timers and sockets. Wall-clock
+//    time, true parallelism, none of the sim's determinism guarantees.
+//
+// Contract both backends honour (runtime_conformance_test pins it):
+//  * Now() is monotone non-decreasing, in microseconds.
+//  * ScheduleAt(when, fn) runs fn at the earliest instant the backend's
+//    clock reaches `when`; two timers never run concurrently on one runtime
+//    (per-site single-threadedness is what keeps protocol state lock-free).
+//  * Timers with equal deadlines run in schedule order (sim guarantees it
+//    exactly; the real loop preserves it via a FIFO tie-break).
+//  * TimerHandle::Cancel() is idempotent, safe after the timer fired, safe
+//    from a timer callback, and safe from any thread — the flag is atomic
+//    and the shared state outlives both the runtime and the handle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+
+namespace dvp::runtime {
+
+/// Shared cancellation state of one scheduled timer. The owning runtime
+/// keeps one reference inside its queue entry; any number of handles keep
+/// others. `tally` (optional) points at the owner's count of
+/// cancelled-but-still-queued entries — the tombstone counter that lets the
+/// owner report live event counts and decide when to compact. The counter is
+/// shared (not raw) so a handle outliving its runtime cancels into memory
+/// that is still alive.
+struct TimerState {
+  std::atomic<bool> cancelled{false};
+  /// Set by the owner when the entry leaves its queue (fired, discarded, or
+  /// compacted away); a Cancel() after that must not count a tombstone.
+  std::atomic<bool> retired{false};
+  std::shared_ptr<std::atomic<int64_t>> tally;
+
+  /// Owner-side: the entry is leaving the queue. Balances the tombstone
+  /// tally if the timer was cancelled while queued.
+  void Retire() {
+    retired.store(true, std::memory_order_release);
+    if (cancelled.load(std::memory_order_acquire) && tally) {
+      tally->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Handle to a scheduled timer; allows cancellation (transaction timeout
+/// counters disarmed when all replies arrive, pure-ack timers superseded by
+/// piggybacks, ...). Copyable; all copies share one cancellation flag.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<TimerState> state)
+      : state_(std::move(state)) {}
+
+  /// Cancels the timer if it has not fired yet. Idempotent; callable from
+  /// any thread and harmless after the timer fired.
+  void Cancel() {
+    if (!state_) return;
+    if (!state_->cancelled.exchange(true, std::memory_order_acq_rel)) {
+      if (!state_->retired.load(std::memory_order_acquire) && state_->tally) {
+        state_->tally->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool valid() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<TimerState> state_;
+};
+
+/// The seam itself: a clock and a timer queue. Everything the protocol
+/// layers ever asked of the sim kernel, and nothing more — transport
+/// endpoints live behind net::Conduit, stable storage behind
+/// wal::StableStorage, both runtime-agnostic already.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Current time in microseconds: virtual on the sim kernel, monotonic
+  /// steady-clock on the real loop.
+  virtual SimTime Now() const = 0;
+
+  /// Schedules `fn` to run at absolute time `when` (>= Now()).
+  virtual TimerHandle ScheduleAt(SimTime when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  TimerHandle Schedule(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(Now() + delay, std::move(fn));
+  }
+};
+
+}  // namespace dvp::runtime

@@ -1,9 +1,15 @@
 #include "sim/kernel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace dvp::sim {
+
+namespace {
+/// Below this many entries a compaction pass costs more than the garbage.
+constexpr size_t kCompactionFloor = 64;
+}  // namespace
 
 EventHandle Kernel::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
@@ -16,26 +22,51 @@ EventHandle Kernel::ScheduleAt(SimTime when, std::function<void()> fn) {
     }
     if (perturb_.shuffle_ties) tie = perturb_rng_->NextU64();
   }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{when, tie, seq, std::move(fn), flag});
-  return EventHandle(flag);
+  auto state = std::make_shared<runtime::TimerState>();
+  state->tally = tombstones_;
+  heap_.push_back(Event{when, tie, seq, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  MaybeCompact();
+  return EventHandle(std::move(state));
+}
+
+Kernel::Event Kernel::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  ev.state->Retire();
+  return ev;
+}
+
+void Kernel::MaybeCompact() {
+  int64_t dead = tombstones_->load(std::memory_order_relaxed);
+  if (heap_.size() < kCompactionFloor ||
+      dead <= static_cast<int64_t>(heap_.size() / 2)) {
+    return;
+  }
+  auto live_end = std::remove_if(heap_.begin(), heap_.end(), [](Event& ev) {
+    if (!ev.cancelled()) return false;
+    ev.state->Retire();
+    return true;
+  });
+  heap_.erase(live_end, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SimTime Kernel::NextEventTime() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
-  return queue_.empty() ? kSimTimeMax : queue_.top().when;
+  while (!heap_.empty() && heap_.front().cancelled()) PopTop();
+  return heap_.empty() ? kSimTimeMax : heap_.front().when;
 }
 
 bool Kernel::PopNextLive(SimTime until, Event* out) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Discard cancelled tombstones without advancing time.
-    if (*queue_.top().cancelled) {
-      queue_.pop();
+    if (heap_.front().cancelled()) {
+      PopTop();
       continue;
     }
-    if (queue_.top().when > until) return false;
-    *out = queue_.top();
-    queue_.pop();
+    if (heap_.front().when > until) return false;
+    *out = PopTop();
     return true;
   }
   return false;

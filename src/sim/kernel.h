@@ -4,17 +4,22 @@
 // of events and seeded RNG streams — a run is a pure function of its seed and
 // schedule, which is what lets the tests assert exact invariants under fault
 // injection.
+//
+// The kernel is the deterministic implementation of runtime::Runtime — the
+// same protocol code that runs here runs on runtime::EventLoop threads with
+// a real clock (runtime/real.h). The kernel remains the correctness oracle:
+// only it can replay a run bit-for-bit.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/runtime.h"
 
 namespace dvp::sim {
 
@@ -36,42 +41,23 @@ struct PerturbOptions {
 };
 
 /// Handle to a scheduled event; allows cancellation (used for transaction
-/// timeout counters that are disarmed when all replies arrive).
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  /// Cancels the event if it has not fired yet. Idempotent.
-  void Cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  bool valid() const { return cancelled_ != nullptr; }
-  bool cancelled() const { return cancelled_ && *cancelled_; }
-
- private:
-  friend class Kernel;
-  explicit EventHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
-};
+/// timeout counters that are disarmed when all replies arrive). The shared
+/// type with the real runtime: cancel-safe across threads, harmless after
+/// fire.
+using EventHandle = runtime::TimerHandle;
 
 /// The event queue + virtual clock.
-class Kernel {
+class Kernel final : public runtime::Runtime {
  public:
-  Kernel() = default;
+  Kernel() : tombstones_(std::make_shared<std::atomic<int64_t>>(0)) {}
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   /// Current virtual time (microseconds).
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `when` (>= Now()).
-  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
-
-  /// Schedules `fn` to run `delay` microseconds from now.
-  EventHandle Schedule(SimTime delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
-  }
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn) override;
 
   /// Runs events until the queue drains or virtual time would exceed
   /// `until`. Returns the number of events executed.
@@ -80,15 +66,27 @@ class Kernel {
   /// Executes exactly one event if any is pending. Returns false when idle.
   bool Step();
 
-  /// True when no events remain.
-  bool Idle() const { return queue_.empty(); }
+  /// True when no live events remain.
+  bool Idle() const { return PendingEvents() == 0; }
 
   /// Virtual time of the next live (non-cancelled) event, or kSimTimeMax
   /// when the queue is drained. Pops cancelled tombstones as a side effect.
   SimTime NextEventTime();
 
-  /// Number of pending events (live, not yet cancelled-and-popped).
-  size_t PendingEvents() const { return queue_.size(); }
+  /// Number of LIVE pending events. Cancelled-but-unpopped tombstones are
+  /// excluded: a long-lived rig that arms and cancels many ack timers sees
+  /// its true backlog, not the garbage awaiting compaction.
+  size_t PendingEvents() const {
+    int64_t dead = tombstones_->load(std::memory_order_relaxed);
+    if (dead < 0) dead = 0;
+    size_t total = heap_.size();
+    return total > static_cast<size_t>(dead) ? total - static_cast<size_t>(dead)
+                                             : 0;
+  }
+
+  /// Queue entries including tombstones (test/debug visibility of the
+  /// compaction machinery).
+  size_t QueueEntries() const { return heap_.size(); }
 
   /// Total events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
@@ -113,8 +111,14 @@ class Kernel {
     uint64_t tie;  // FIFO seq, or a random key when shuffle_ties is on
     uint64_t seq;  // unique; final tie-break keeps the order total
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<runtime::TimerState> state;
+
+    bool cancelled() const {
+      return state->cancelled.load(std::memory_order_acquire);
+    }
   };
+  /// Heap comparator ("a fires later than b"): the ordering is total (seq is
+  /// unique), so heap layout never affects execution order.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -129,12 +133,26 @@ class Kernel {
   /// and Run() share this — the single place the skip rules live.
   bool PopNextLive(SimTime until, Event* out);
 
+  /// Removes the heap top and retires its cancellation state (balancing the
+  /// tombstone tally when it was a tombstone).
+  Event PopTop();
+
+  /// Rebuilds the heap without its tombstones once they outnumber live
+  /// events: Cancel() leaves entries in place (O(1)), so a rig that arms and
+  /// cancels many timers between pops would otherwise grow the queue without
+  /// bound. Amortised O(1) per schedule — each compaction is O(n) and at
+  /// least half the entries die.
+  void MaybeCompact();
+
   void Execute(Event& ev);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  // min-heap under Later via std::*_heap
+  /// Count of cancelled-but-still-queued entries; shared with every handle
+  /// so cancellation can tally without reaching into the kernel.
+  std::shared_ptr<std::atomic<int64_t>> tombstones_;
   std::function<void()> post_event_hook_;
   PerturbOptions perturb_;
   std::optional<Rng> perturb_rng_;

@@ -8,18 +8,18 @@
 
 namespace dvp::site {
 
-Site::Site(SiteId id, sim::Kernel* kernel, net::Network* network,
+Site::Site(SiteId id, runtime::Runtime* rt, net::Conduit* conduit,
            wal::StableStorage* storage, const core::Catalog* catalog, Rng rng,
            SiteOptions options)
     : id_(id),
-      kernel_(kernel),
-      network_(network),
+      rt_(rt),
+      conduit_(conduit),
       storage_(storage),
       catalog_(catalog),
       rng_(rng),
       options_(options),
       clock_(id) {
-  network_->RegisterEndpoint(
+  conduit_->RegisterEndpoint(
       id_,
       [this](const net::Packet& packet) {
         if (!up_ || !transport_) return;
@@ -34,13 +34,13 @@ void Site::BuildVolatile() {
   store_ = std::make_unique<core::ValueStore>(catalog_);
   locks_ = std::make_unique<cc::LockManager>();
   placement_ = std::make_unique<placement::PlacementManager>(
-      id_, network_->num_sites(), kernel_, store_.get(), &metrics_,
+      id_, conduit_->num_sites(), rt_, store_.get(), &metrics_,
       options_.placement);
   net::Transport::Options topts = options_.transport;
   if (options_.placement.hints_per_frame > 0) {
     topts.max_frame_hints = options_.placement.hints_per_frame;
   }
-  transport_ = std::make_unique<net::Transport>(kernel_, network_, id_,
+  transport_ = std::make_unique<net::Transport>(rt_, conduit_, id_,
                                                 &metrics_, topts,
                                                 options_.trace);
   transport_->set_epoch(storage_->incarnation());
@@ -55,7 +55,7 @@ void Site::BuildVolatile() {
           placement_->OnHints(src, hints);
         });
   }
-  wal_ = std::make_unique<wal::GroupCommitLog>(kernel_, storage_, &metrics_,
+  wal_ = std::make_unique<wal::GroupCommitLog>(rt_, storage_, &metrics_,
                                                options_.group_commit,
                                                options_.trace);
   bool stamp_on_accept = options_.txn.scheme == cc::CcScheme::kConc1;
@@ -68,7 +68,7 @@ void Site::BuildVolatile() {
   transport_->set_ack_fn(
       [this](uint64_t token) { vm_->OnTransportAck(token); });
   txn_ = std::make_unique<txn::TxnManager>(
-      id_, network_->num_sites(), kernel_, wal_.get(), store_.get(),
+      id_, conduit_->num_sites(), rt_, wal_.get(), store_.get(),
       locks_.get(), vm_.get(), transport_.get(), &clock_, &metrics_,
       rng_.Fork(0xff00 + lifecycle_generation_), options_.txn, options_.trace,
       placement_.get());
@@ -132,7 +132,7 @@ void Site::Recover(
   SimTime duration = recovery::RecoveryDuration(*storage_,
                                                 options_.recovery_us_per_record);
   uint64_t gen = ++lifecycle_generation_;
-  kernel_->Schedule(duration, [this, gen, done = std::move(done)]() {
+  rt_->Schedule(duration, [this, gen, done = std::move(done)]() {
     if (gen != lifecycle_generation_) return;
     recovering_ = false;
 
@@ -205,7 +205,7 @@ void Site::Checkpoint() {
 void Site::ArmCheckpointTimer() {
   if (options_.checkpoint_interval_us <= 0) return;
   uint64_t gen = lifecycle_generation_;
-  kernel_->Schedule(options_.checkpoint_interval_us, [this, gen]() {
+  rt_->Schedule(options_.checkpoint_interval_us, [this, gen]() {
     if (gen != lifecycle_generation_ || !up_) return;
     Checkpoint();
     ArmCheckpointTimer();

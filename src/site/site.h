@@ -15,13 +15,13 @@
 #include "common/types.h"
 #include "dvpcore/catalog.h"
 #include "dvpcore/value_store.h"
-#include "net/network.h"
+#include "net/conduit.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/placement.h"
 #include "recovery/recovery.h"
-#include "sim/kernel.h"
+#include "runtime/runtime.h"
 #include "txn/txn.h"
 #include "txn/txn_manager.h"
 #include "vm/vm_manager.h"
@@ -51,7 +51,7 @@ struct SiteOptions {
 
 class Site {
  public:
-  Site(SiteId id, sim::Kernel* kernel, net::Network* network,
+  Site(SiteId id, runtime::Runtime* rt, net::Conduit* conduit,
        wal::StableStorage* storage, const core::Catalog* catalog, Rng rng,
        SiteOptions options);
   ~Site();
@@ -130,8 +130,8 @@ class Site {
   void ArmCheckpointTimer();
 
   SiteId id_;
-  sim::Kernel* kernel_;
-  net::Network* network_;
+  runtime::Runtime* rt_;
+  net::Conduit* conduit_;
   wal::StableStorage* storage_;
   const core::Catalog* catalog_;
   Rng rng_;

@@ -58,7 +58,7 @@ TxnSpec MakeOrder(ItemId stock, ItemId revenue, core::Value qty) {
   return spec;
 }
 
-TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+TxnManager::TxnManager(SiteId self, uint32_t num_sites, runtime::Runtime* rt,
                        wal::GroupCommitLog* log, core::ValueStore* store,
                        cc::LockManager* locks, vm::VmManager* vm,
                        net::Transport* transport, LamportClock* clock,
@@ -67,7 +67,7 @@ TxnManager::TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
                        placement::PlacementManager* placement)
     : self_(self),
       num_sites_(num_sites),
-      kernel_(kernel),
+      rt_(rt),
       log_(log),
       store_(store),
       locks_(locks),
@@ -245,7 +245,7 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
   t->spec = spec;
   t->items = lock_items;
   t->cb = std::move(cb);
-  t->start_time = kernel_->Now();
+  t->start_time = rt_->Now();
 
   // §5 step 2: determine which items the local value is inadequate for.
   std::vector<proto::RequestPart> parts;
@@ -328,7 +328,7 @@ TxnId TxnManager::Begin(const TxnSpec& spec, TxnCallback cb) {
     base_timeout = std::min(base_timeout, options_.multiop_timeout_us);
   }
   SimTime timeout_us = base_timeout * timeout_skew_permille_ / 1000;
-  ref.timeout = kernel_->Schedule(timeout_us, [this, timeout_id]() {
+  ref.timeout = rt_->Schedule(timeout_us, [this, timeout_id]() {
     auto it = pending_.find(timeout_id);
     if (it == pending_.end()) return;
     if (placement_) {
@@ -740,8 +740,8 @@ void TxnManager::ArmReadRetry(PendingTxn& t) {
   SimTime delay = net::backoff::Jittered(
       net::backoff::Interval(options_.read_retry_us, options_.read_retry_max_us,
                              t.read_retry_attempts),
-      salt);
-  t.read_retry = kernel_->Schedule(delay, [this, id]() {
+      options_.read_retry_max_us, salt);
+  t.read_retry = rt_->Schedule(delay, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingTxn& t = *it->second;
@@ -905,8 +905,8 @@ void TxnManager::ArmSnapshotRetry(PendingTxn& t) {
   SimTime delay = net::backoff::Jittered(
       net::backoff::Interval(options_.read_retry_us, options_.read_retry_max_us,
                              t.snap.attempts),
-      salt);
-  t.snap_retry = kernel_->Schedule(delay, [this, id]() {
+      options_.read_retry_max_us, salt);
+  t.snap_retry = rt_->Schedule(delay, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingTxn& t = *it->second;
@@ -922,7 +922,7 @@ void TxnManager::ArmSnapshotRetry(PendingTxn& t) {
 void TxnManager::ArmGatherRetry(PendingTxn& t) {
   if (options_.gather_retry_us <= 0 || t.shortfall.empty()) return;
   TxnId id = t.id;
-  t.gather_retry = kernel_->Schedule(options_.gather_retry_us, [this, id]() {
+  t.gather_retry = rt_->Schedule(options_.gather_retry_us, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingTxn& t = *it->second;
@@ -996,7 +996,7 @@ void TxnManager::ScheduleCommit(PendingTxn& t) {
     return;
   }
   TxnId id = t.id;
-  kernel_->Schedule(options_.local_compute_us, [this, id]() {
+  rt_->Schedule(options_.local_compute_us, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;  // site crashed meanwhile
     Commit(*it->second);
@@ -1067,7 +1067,7 @@ void TxnManager::Commit(PendingTxn& t) {
     NoteOutcome(t.id, TxnOutcome::kCommitted);
     NoteCommitted(t);
     result.status = Status::OK();
-    result.latency_us = kernel_->Now() - t.start_time;
+    result.latency_us = rt_->Now() - t.start_time;
     Finish(t, std::move(result));
     return;
   }
@@ -1103,7 +1103,7 @@ void TxnManager::Commit(PendingTxn& t) {
                  NoteOutcome(id, TxnOutcome::kCommitted);
                  NoteCommitted(t);
                  result.status = Status::OK();
-                 result.latency_us = kernel_->Now() - t.start_time;
+                 result.latency_us = rt_->Now() - t.start_time;
                  Finish(t, std::move(result));
                });
   log_->Append(wal::LogRecord(wal::TxnAppliedRec{id}));
@@ -1146,7 +1146,7 @@ void TxnManager::Abort(PendingTxn& t, TxnOutcome outcome,
   result.status = outcome == TxnOutcome::kAbortTimeout
                       ? Status::Timeout(why)
                       : Status::Aborted(why);
-  result.latency_us = kernel_->Now() - t.start_time;
+  result.latency_us = rt_->Now() - t.start_time;
   result.rounds = t.rounds;
   Finish(t, std::move(result));
 }
@@ -1225,7 +1225,7 @@ void TxnManager::CrashAbortAll() {
       if (t->spec.atomic_set) m_multiop_aborted_->Inc();
     }
     NoteOutcome(t->id, result.outcome);
-    result.latency_us = kernel_->Now() - t->start_time;
+    result.latency_us = rt_->Now() - t->start_time;
     if (t->cb) t->cb(result);
   }
 }

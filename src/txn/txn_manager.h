@@ -23,7 +23,7 @@
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "proto/wire.h"
-#include "sim/kernel.h"
+#include "runtime/runtime.h"
 #include "txn/txn.h"
 #include "vm/vm_manager.h"
 #include "wal/group_commit.h"
@@ -100,7 +100,7 @@ struct TxnManagerOptions {
 
 class TxnManager {
  public:
-  TxnManager(SiteId self, uint32_t num_sites, sim::Kernel* kernel,
+  TxnManager(SiteId self, uint32_t num_sites, runtime::Runtime* rt,
              wal::GroupCommitLog* log, core::ValueStore* store,
              cc::LockManager* locks, vm::VmManager* vm,
              net::Transport* transport, LamportClock* clock,
@@ -220,10 +220,10 @@ class TxnManager {
     std::map<ItemId, core::Value> shortfall;
     std::map<ItemId, ReadState> reads;
     SnapState snap;
-    sim::EventHandle timeout;
-    sim::EventHandle read_retry;
-    sim::EventHandle gather_retry;
-    sim::EventHandle snap_retry;
+    runtime::TimerHandle timeout;
+    runtime::TimerHandle read_retry;
+    runtime::TimerHandle gather_retry;
+    runtime::TimerHandle snap_retry;
     TxnCallback cb;
     SimTime start_time = 0;
     uint32_t rounds = 0;
@@ -267,7 +267,7 @@ class TxnManager {
 
   SiteId self_;
   uint32_t num_sites_;
-  sim::Kernel* kernel_;
+  runtime::Runtime* rt_;
   wal::GroupCommitLog* log_;
   core::ValueStore* store_;
   cc::LockManager* locks_;

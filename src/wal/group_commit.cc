@@ -66,7 +66,7 @@ void GroupCommitLog::OnNextForce(std::function<void()> fn) {
 void GroupCommitLog::ArmTimer() {
   if (timer_armed_) return;
   timer_armed_ = true;
-  kernel_->Schedule(options_.max_delay_us, [this, alive = alive_] {
+  rt_->Schedule(options_.max_delay_us, [this, alive = alive_] {
     if (!*alive) return;
     timer_armed_ = false;
     if (storage_->unforced_records() > 0 || !callbacks_.empty()) Flush();

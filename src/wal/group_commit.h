@@ -25,7 +25,7 @@
 #include "common/histogram.h"
 #include "common/types.h"
 #include "obs/metrics.h"
-#include "sim/kernel.h"
+#include "runtime/runtime.h"
 #include "wal/stable_storage.h"
 
 namespace dvp::obs {
@@ -47,10 +47,10 @@ struct GroupCommitOptions {
 
 class GroupCommitLog {
  public:
-  GroupCommitLog(sim::Kernel* kernel, StableStorage* storage,
+  GroupCommitLog(runtime::Runtime* rt, StableStorage* storage,
                  obs::MetricsRegistry* metrics, GroupCommitOptions options,
                  obs::TraceRecorder* trace = nullptr)
-      : kernel_(kernel),
+      : rt_(rt),
         storage_(storage),
         trace_(trace),
         options_(options),
@@ -91,7 +91,7 @@ class GroupCommitLog {
  private:
   void ArmTimer();
 
-  sim::Kernel* kernel_;
+  runtime::Runtime* rt_;
   StableStorage* storage_;
   obs::TraceRecorder* trace_;
   GroupCommitOptions options_;

@@ -325,18 +325,41 @@ TEST(BackoffTest, IntervalDoublesAndCollapsesToTheCap) {
   EXPECT_EQ(backoff::Interval(1, 2'000'000'000, 30), 1 << 30);
 }
 
+// Regression: the old probe computed `base_us << exp` before its overflow
+// guard — a signed left shift that overflows (UB, caught by UBSan) for large
+// bases. The pre-shift test must collapse these straight to the cap.
+TEST(BackoffTest, IntervalHugeBaseCollapsesToCapWithoutOverflow) {
+  EXPECT_EQ(backoff::Interval(int64_t{1} << 40, 1'000'000, 30), 1'000'000);
+  EXPECT_EQ(backoff::Interval(int64_t{1} << 62, 320'000, 5), 320'000);
+  EXPECT_EQ(backoff::Interval(kSimTimeMax, kSimTimeMax, 1), kSimTimeMax);
+  // Degenerate inputs still collapse to the cap (the old `<= 0` guard).
+  EXPECT_EQ(backoff::Interval(0, 320'000, 5), 320'000);
+  EXPECT_EQ(backoff::Interval(-10, 320'000, 0), 320'000);
+}
+
 TEST(BackoffTest, JitterIsDeterministicAndBounded) {
+  constexpr SimTime kMax = 10'000'000;
   for (SimTime interval : {SimTime{4}, SimTime{10'000}, SimTime{320'000}}) {
     for (uint64_t salt = 0; salt < 64; ++salt) {
-      SimTime a = backoff::Jittered(interval, salt);
-      SimTime b = backoff::Jittered(interval, salt);
-      EXPECT_EQ(a, b);  // pure function of (interval, salt)
+      SimTime a = backoff::Jittered(interval, kMax, salt);
+      SimTime b = backoff::Jittered(interval, kMax, salt);
+      EXPECT_EQ(a, b);  // pure function of (interval, max, salt)
       EXPECT_GE(a, interval);
       EXPECT_LE(a, interval + interval / 4);
     }
   }
   // Distinct salts actually spread (the anti-thundering-herd point).
-  EXPECT_NE(backoff::Jittered(320'000, 1), backoff::Jittered(320'000, 2));
+  EXPECT_NE(backoff::Jittered(320'000, kMax, 1),
+            backoff::Jittered(320'000, kMax, 2));
+}
+
+// Regression: jitter on top of an already-capped interval used to stretch
+// the wait to 1.25 * max_us. A maxed-out retrier now waits exactly the cap.
+TEST(BackoffTest, JitterNeverExceedsTheCap) {
+  for (uint64_t salt = 0; salt < 64; ++salt) {
+    EXPECT_EQ(backoff::Jittered(320'000, 320'000, salt), 320'000);
+    EXPECT_LE(backoff::Jittered(300'000, 320'000, salt), 320'000);
+  }
 }
 
 // WireSize is computed once and cached; flipping a flag afterwards must not

@@ -140,5 +140,62 @@ TEST(KernelTest, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(seen, 123);
 }
 
+// Regression: cancelled events used to stay queued as tombstones forever —
+// a rig that arms and cancels an ack timer per packet grew the queue without
+// bound, and PendingEvents() reported the garbage as backlog.
+TEST(KernelTest, PendingEventsExcludesCancelledTombstones) {
+  Kernel kernel;
+  EventHandle cancelled = kernel.Schedule(5, []() { FAIL(); });
+  kernel.Schedule(10, []() {});
+  cancelled.Cancel();
+  EXPECT_EQ(kernel.PendingEvents(), 1u);  // live only
+  EXPECT_EQ(kernel.QueueEntries(), 2u);   // tombstone still queued
+  EXPECT_FALSE(kernel.Idle());
+  kernel.Run();
+  EXPECT_EQ(kernel.PendingEvents(), 0u);
+  EXPECT_TRUE(kernel.Idle());
+  EXPECT_EQ(kernel.events_executed(), 1u);
+}
+
+TEST(KernelTest, CompactionDropsTombstonesWithoutReorderingLiveEvents) {
+  Kernel kernel;
+  std::vector<int> order;
+  // Interleave live events with a large majority of cancelled ones so the
+  // tombstone count crosses the half-queue compaction threshold.
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 64; ++i) {
+    kernel.ScheduleAt(1000 + i, [&order, i]() { order.push_back(i); });
+    for (int j = 0; j < 4; ++j) {
+      doomed.push_back(kernel.ScheduleAt(100 + i, []() { FAIL(); }));
+    }
+  }
+  ASSERT_EQ(kernel.QueueEntries(), 64u + 256u);
+  for (EventHandle& h : doomed) h.Cancel();
+  EXPECT_EQ(kernel.PendingEvents(), 64u);
+  // The next schedule trips compaction: tombstones (256) > queue/2.
+  kernel.ScheduleAt(2000, [&order]() { order.push_back(64); });
+  EXPECT_EQ(kernel.QueueEntries(), 65u);  // garbage gone
+  EXPECT_EQ(kernel.PendingEvents(), 65u);
+  kernel.Run();
+  ASSERT_EQ(order.size(), 65u);
+  for (int i = 0; i < 65; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(KernelTest, CancelAfterCompactionIsHarmless) {
+  Kernel kernel;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 128; ++i) {
+    doomed.push_back(kernel.Schedule(i, []() { FAIL(); }));
+  }
+  for (EventHandle& h : doomed) h.Cancel();
+  kernel.Schedule(500, []() {});  // trips compaction, retires tombstones
+  EXPECT_EQ(kernel.QueueEntries(), 1u);
+  // Double-cancel and cancel-after-retire must not corrupt the tally.
+  for (EventHandle& h : doomed) h.Cancel();
+  EXPECT_EQ(kernel.PendingEvents(), 1u);
+  EXPECT_EQ(kernel.Run(), 1u);
+  EXPECT_TRUE(kernel.Idle());
+}
+
 }  // namespace
 }  // namespace dvp::sim
