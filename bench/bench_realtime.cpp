@@ -1,24 +1,33 @@
-// bench_realtime — the real-runtime smoke driver (CI's realtime-smoke leg).
+// bench_realtime — the real-runtime driver (CI's realtime-smoke leg).
 //
-// Not an experiment: a correctness gate. The same E4-style hot-counter
-// workload (increment/decrement ±1..3 against one aggregate item, 4 sites)
-// runs twice from one deterministic op list —
-//   1. on runtime::Real: one OS thread and one loopback UDP socket per
-//      site, wall-clock pacing, the packet byte codec on the wire;
-//   2. on the sim kernel: the deterministic oracle, same spec, virtual
-//      pacing.
-// The driver then cross-checks: the real run must settle >= 99% of the
-// transactions as commits, the sim run must commit them all, and BOTH
-// clusters must pass the durable conservation audit. Any miss exits
-// non-zero. This is the "same protocol sources, different runtime" claim
-// made executable.
+// Two phases:
+//
+//  1. Smoke (correctness gate, unchanged since PR 9): the same E4-style
+//     hot-counter op list runs on runtime::Real and on the sim kernel; the
+//     real run must settle >= 99% commits, the sim must commit everything,
+//     both must pass the durable conservation audit.
+//
+//  2. E14 (wall-clock latency): an open-loop driver — Poisson admission at a
+//     target rate, Zipfian item skew from the E12 generators — runs twice on
+//     the real runtime: once with the PR 9 wire path (fresh heap string per
+//     encode, one sendto/recv per datagram: frame_cache=off, batch_io=off)
+//     and once with the fast path (encode-once frame cache, batched
+//     sendmmsg/recvmmsg, reused buffers). It reports p50/p99/p999 commit
+//     latency, txns/sec, syscalls/txn, and allocations/txn per mode, and
+//     gates in-binary: the fast path must show >= 2x fewer frame-buffer
+//     allocations per txn and fewer syscalls per txn than the baseline.
+//
+// `--json <path>` writes the strict-JSON report CI pins (deterministic
+// fields) and bounds (timing fields).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/histogram.h"
 #include "system/real_cluster.h"
 
 namespace dvp::bench {
@@ -29,6 +38,17 @@ constexpr uint32_t kNumTxns = 1000;
 constexpr core::Value kInitial = 1'000'000;  // conflicts, never drain
 constexpr SimTime kPaceUs = 500;             // one submission per 500 us
 constexpr SimTime kSettleDeadlineUs = 30'000'000;
+
+// E14 open-loop parameters. Totals are kept small on purpose: each item is
+// decremented at one site and incremented at the next, so the decrement site
+// runs dry almost immediately and every later decrement must pull value over
+// the wire (the paper's redistribution path) — that sustained cross-site
+// traffic is what the two wire paths are compared on.
+constexpr uint32_t kOpenTxns = 4000;
+constexpr uint32_t kOpenItems = 64;
+constexpr core::Value kOpenTotal = 8;       // per item, split across 4 sites
+constexpr double kOpenZipfTheta = 0.8;
+constexpr double kOpenRatePerSec = 2000.0;  // Poisson admission target
 
 struct Op {
   SiteId at;
@@ -50,10 +70,10 @@ std::vector<Op> MakeOps(uint64_t seed) {
   return ops;
 }
 
-txn::TxnSpec SpecFor(const Op& op) {
+txn::TxnSpec SpecFor(const Op& op, ItemId item) {
   txn::TxnSpec spec;
   txn::TxnOp top;
-  top.item = ItemId(0);
+  top.item = item;
   top.kind =
       op.down ? txn::TxnOp::Kind::kDecrement : txn::TxnOp::Kind::kIncrement;
   top.amount = op.amount;
@@ -84,7 +104,7 @@ Tally RunReal(const std::vector<Op>& ops, uint64_t seed) {
   for (const Op& op : ops) {
     std::this_thread::sleep_until(start +
                                   std::chrono::microseconds(op.submit_us));
-    cluster.Submit(op.at, SpecFor(op),
+    cluster.Submit(op.at, SpecFor(op, items[0]),
                    [&committed, &decided](const txn::TxnResult& r) {
                      if (r.committed()) {
                        committed.fetch_add(1, std::memory_order_relaxed);
@@ -118,7 +138,7 @@ Tally RunSim(const std::vector<Op>& ops, uint64_t seed) {
   Tally tally;
   for (const Op& op : ops) {
     cluster.kernel().ScheduleAt(op.submit_us, [&cluster, &tally, op]() {
-      auto id = cluster.Submit(op.at, SpecFor(op),
+      auto id = cluster.Submit(SiteId(op.at), SpecFor(op, ItemId(0)),
                                [&tally](const txn::TxnResult& r) {
                                  if (r.committed()) ++tally.committed;
                                  ++tally.decided;
@@ -131,10 +151,178 @@ Tally RunSim(const std::vector<Op>& ops, uint64_t seed) {
   return tally;
 }
 
-int Main() {
-  constexpr uint64_t kSeed = 20260808;
-  std::vector<Op> ops = MakeOps(kSeed);
+// ---- E14: open-loop wall-clock latency ------------------------------------
 
+struct OpenLoopResult {
+  uint32_t submitted = 0;
+  uint64_t decided = 0;
+  uint64_t committed = 0;
+  bool audit_ok = false;
+  Histogram commit_us;       // wall-clock submit->decision latency
+  double elapsed_s = 0;      // admission start to last decision (or deadline)
+  runtime::UdpConduit::Stats udp;
+  uint64_t envelope_allocs = 0;  // pool envelopes consumed by this run
+  uint64_t retransmissions = 0;        // summed over sites' transports
+  uint64_t cache_invalidations = 0;    // ditto (fingerprint drift rebuilds)
+};
+
+/// One open-loop run: Poisson arrivals at kOpenRatePerSec, Zipf item skew.
+/// `fast` selects the wire path under test; `drop_one_in` injects datagram
+/// loss (0 = clean) so retransmissions — and therefore frame-cache replays —
+/// actually occur.
+OpenLoopResult RunOpenLoop(uint64_t seed, bool fast, uint32_t txns,
+                           uint64_t drop_one_in, bool hints,
+                           double rate_per_sec) {
+  std::vector<ItemId> items;
+  core::Catalog catalog = MakeCountCatalog(kOpenItems, kOpenTotal, &items);
+  system::RealClusterOptions opts;
+  opts.num_sites = kNumSites;
+  opts.seed = seed;
+  opts.runtime.net.batch_io = fast;
+  opts.runtime.net.frame_cache = fast;
+  opts.runtime.net.drop_one_in = drop_one_in;
+  // Paced gather retries: the workload keeps decrement sites permanently
+  // short, so a single-round ask that lands while the donor is locked (hot
+  // item, concurrent increments) would otherwise sit out the whole 300 ms
+  // timeout — identical protocol config in both modes, so the comparison
+  // stays about the wire path.
+  opts.site.txn.gather_retry_us = 5'000;
+  // Surplus hints steer re-asks at the sites that actually hold value — but
+  // each wire send restamps them, which (correctly) invalidates any cached
+  // frame, so the loss phase that counter-asserts cache replays turns them
+  // off.
+  opts.site.placement.hints_per_frame = hints ? 2 : 0;
+  system::RealCluster cluster(&catalog, opts);
+  cluster.BootstrapEven();
+  cluster.Start();
+
+  OpenLoopResult res;
+  res.submitted = txns;
+  res.envelope_allocs = net::PoolStats().envelopes;
+
+  std::mutex mu;
+  Histogram commit_us;
+  std::atomic<uint64_t> decided{0};
+  std::atomic<uint64_t> committed{0};
+
+  Rng rng(seed * 7919 + 17);
+  ZipfGenerator zipf(kOpenItems, kOpenZipfTheta);
+  // Per-item increment/decrement alternation keeps every global total within
+  // one unit of its initial value (no drift aborts) while the site split —
+  // decrements at item%n, increments at the next site — keeps the decrement
+  // side permanently short of local value, so redistribution never idles.
+  std::vector<uint8_t> toggle(kOpenItems, 0);
+  using ClockT = std::chrono::steady_clock;
+  auto start = ClockT::now();
+  double next_us = 0;
+  for (uint32_t i = 0; i < txns; ++i) {
+    next_us += rng.NextExponential(1e6 / rate_per_sec);
+    auto due = start + std::chrono::microseconds(
+                           static_cast<int64_t>(next_us));
+    std::this_thread::sleep_until(due);
+    uint64_t k = zipf.Next(rng);
+    bool down = (toggle[k] ^= 1) != 0;  // first touch decrements
+    uint32_t site = down ? uint32_t(k) % kNumSites
+                         : (uint32_t(k) + 1) % kNumSites;
+    Op op{SiteId(site), down, /*amount=*/1, 0};
+    ItemId item = items[k];
+    auto submitted = ClockT::now();
+    cluster.Submit(
+        op.at, SpecFor(op, item),
+        [&mu, &commit_us, &decided, &committed,
+         submitted](const txn::TxnResult& r) {
+          double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          ClockT::now() - submitted)
+                          .count() /
+                      1000.0;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            commit_us.Add(us);
+          }
+          if (r.committed()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          }
+          decided.fetch_add(1, std::memory_order_relaxed);
+        });
+  }
+  auto deadline = ClockT::now() + std::chrono::microseconds(kSettleDeadlineUs);
+  while (decided.load(std::memory_order_relaxed) < txns &&
+         ClockT::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  res.elapsed_s = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      ClockT::now() - start)
+                      .count() /
+                  1e9;
+  res.udp = cluster.runtime().conduit().stats();
+  // Surface the conduit counters through the obs registry (satellite: the
+  // split error counters are pull-exported, not pushed per event).
+  cluster.runtime().conduit().ExportStats(&cluster.site(SiteId(0)).metrics());
+  cluster.Stop();
+
+  // Loop threads are joined; per-site transport counters are safe to read.
+  for (uint32_t s = 0; s < kNumSites; ++s) {
+    net::Transport* t = cluster.site(SiteId(s)).transport();
+    res.retransmissions += t->retransmissions();
+    res.cache_invalidations += t->frame_cache_invalidations();
+  }
+  res.decided = decided.load();
+  res.committed = committed.load();
+  res.audit_ok = cluster.AuditAll().ok();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    res.commit_us = commit_us;
+  }
+  res.envelope_allocs = net::PoolStats().envelopes - res.envelope_allocs;
+  return res;
+}
+
+double PerTxn(uint64_t count, uint64_t txns) {
+  return txns == 0 ? 0.0 : static_cast<double>(count) / double(txns);
+}
+
+void ReportMode(const char* name, const OpenLoopResult& r, JsonMetrics* json) {
+  double syscalls_per_txn =
+      PerTxn(r.udp.send_syscalls + r.udp.recv_syscalls, r.decided);
+  double allocs_per_txn = PerTxn(r.udp.frame_buffer_allocs, r.decided);
+  double datagrams_per_txn = PerTxn(r.udp.datagrams_sent, r.decided);
+  double tput = r.elapsed_s > 0 ? double(r.decided) / r.elapsed_s : 0.0;
+  std::printf(
+      "  %-8s decided %llu/%u commit %.1f%%  p50 %.0fus p99 %.0fus "
+      "p999 %.0fus  %.0f txn/s  syscalls/txn %.2f  allocs/txn %.3f\n",
+      name, static_cast<unsigned long long>(r.decided), r.submitted,
+      100.0 * PerTxn(r.committed, r.decided), r.commit_us.Median(),
+      r.commit_us.P99(), r.commit_us.P999(), tput, syscalls_per_txn,
+      allocs_per_txn);
+  std::string p = std::string("e14.") + name;
+  json->Set(p + ".decided", r.decided);
+  json->Set(p + ".committed", r.committed);
+  json->Set(p + ".audit_ok", r.audit_ok);
+  json->Set(p + ".p50_commit_us", r.commit_us.Median());
+  json->Set(p + ".p99_commit_us", r.commit_us.P99());
+  json->Set(p + ".p999_commit_us", r.commit_us.P999());
+  json->Set(p + ".txns_per_sec", tput);
+  json->Set(p + ".syscalls_per_txn", syscalls_per_txn);
+  json->Set(p + ".allocs_per_txn", allocs_per_txn);
+  json->Set(p + ".datagrams_per_txn", datagrams_per_txn);
+  json->Set(p + ".envelope_allocs_per_txn",
+            PerTxn(r.envelope_allocs, r.decided));
+  json->Set(p + ".frames_encoded", r.udp.frames_encoded);
+  json->Set(p + ".frame_cache_hits", r.udp.frame_cache_hits);
+  json->Set(p + ".send_syscalls", r.udp.send_syscalls);
+  json->Set(p + ".recv_syscalls", r.udp.recv_syscalls);
+  json->Set(p + ".send_errors", r.udp.send_errors);
+  json->Set(p + ".send_soft_errors", r.udp.send_soft_errors);
+  json->Set(p + ".oversize_frames", r.udp.oversize_frames);
+}
+
+int Main(int argc, char** argv) {
+  constexpr uint64_t kSeed = 20260808;
+  JsonMetrics json;
+  std::string json_path = JsonPathFromArgs(argc, argv);
+
+  // ---- Phase 1: smoke cross-check -----------------------------------------
+  std::vector<Op> ops = MakeOps(kSeed);
   std::printf("bench_realtime: %u txns, %u sites, hot counter, pace %lld us\n",
               kNumTxns, kNumSites, static_cast<long long>(kPaceUs));
   Tally real = RunReal(ops, kSeed);
@@ -162,6 +350,115 @@ int Main() {
     std::printf("FAIL: conservation audit\n");
     ok = false;
   }
+  json.Set("smoke.real_decided", real.decided);
+  json.Set("smoke.sim_decided", sim.decided);
+  json.Set("smoke.sim_committed", sim.committed);
+  json.Set("smoke.ok", ok);
+
+  // ---- Phase 2: E14 open-loop latency, baseline vs fast path --------------
+  std::printf(
+      "E14: open loop, %u txns @ %.0f/s Poisson, %u items zipf %.2f, "
+      "%u sites\n",
+      kOpenTxns, kOpenRatePerSec, kOpenItems, kOpenZipfTheta, kNumSites);
+  OpenLoopResult base =
+      RunOpenLoop(kSeed, /*fast=*/false, kOpenTxns, /*drop_one_in=*/0,
+                  /*hints=*/true, kOpenRatePerSec);
+  OpenLoopResult fastr =
+      RunOpenLoop(kSeed, /*fast=*/true, kOpenTxns, /*drop_one_in=*/0,
+                  /*hints=*/true, kOpenRatePerSec);
+  ReportMode("baseline", base, &json);
+  ReportMode("fast", fastr, &json);
+
+  json.Set("e14.sites", uint64_t{kNumSites});
+  json.Set("e14.txns", uint64_t{kOpenTxns});
+  json.Set("e14.items", uint64_t{kOpenItems});
+  json.Set("e14.zipf_theta", kOpenZipfTheta);
+  json.Set("e14.target_rate_per_s", kOpenRatePerSec);
+  json.Set("e14.seed", kSeed);
+
+  auto check = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::printf("FAIL: %s\n", what);
+      ok = false;
+    }
+    return cond;
+  };
+  bool base_settled = check(base.decided == kOpenTxns, "baseline settled");
+  bool fast_settled = check(fastr.decided == kOpenTxns, "fast settled");
+  bool both_settled = base_settled && fast_settled;
+  check(base.audit_ok && fastr.audit_ok, "E14 conservation audit");
+  // Looser than the smoke gate on purpose: E14 runs hot items permanently
+  // short of local value, so a few timeout aborts under scheduler jitter are
+  // expected — correctness is the smoke phase's gate, this phase gates perf.
+  check(PerTxn(base.committed, base.decided) >= 0.95 &&
+            PerTxn(fastr.committed, fastr.decided) >= 0.95,
+        "E14 commit rate >= 95%");
+
+  double base_allocs = PerTxn(base.udp.frame_buffer_allocs, base.decided);
+  double fast_allocs = PerTxn(fastr.udp.frame_buffer_allocs, fastr.decided);
+  double base_sys =
+      PerTxn(base.udp.send_syscalls + base.udp.recv_syscalls, base.decided);
+  double fast_sys =
+      PerTxn(fastr.udp.send_syscalls + fastr.udp.recv_syscalls, fastr.decided);
+  bool alloc_ok =
+      both_settled && fast_allocs * 2.0 <= base_allocs;
+  bool syscall_ok = both_settled && fast_sys < base_sys;
+  check(alloc_ok, "fast path >= 2x fewer frame-buffer allocs/txn");
+  check(syscall_ok, "fast path fewer syscalls/txn");
+  json.Set("e14.alloc_reduction_x",
+           fast_allocs > 0 ? base_allocs / fast_allocs : 0.0);
+  json.Set("e14.alloc_reduction_ok", alloc_ok);
+  json.Set("e14.syscall_reduction_ok", syscall_ok);
+
+  std::printf("  alloc/txn %.3f -> %.3f (%.1fx), syscalls/txn %.2f -> %.2f\n",
+              base_allocs, fast_allocs,
+              fast_allocs > 0 ? base_allocs / fast_allocs : 0.0, base_sys,
+              fast_sys);
+
+  // ---- Phase 3: encode-once under loss ------------------------------------
+  // A clean loopback run never retransmits, so the cache replay path never
+  // fires above. Inject datagram loss to force retransmissions and
+  // counter-assert that they replay cached bytes (frame_cache_hits) instead
+  // of re-encoding, while exactly-once delivery still settles every txn.
+  // Sparse admission on purpose: on a busy channel the piggyback ack drifts
+  // inside the RTO window and (correctly) invalidates the cached frame, so a
+  // high-rate run would mostly measure rebuilds. At low rate the reverse
+  // channel is quiet between first send and retransmit and the replay path
+  // actually fires.
+  constexpr uint32_t kLossyTxns = 400;
+  std::printf("E14-loss: %u txns @ %.0f/s, drop 1-in-16, fast path\n",
+              kLossyTxns, kOpenRatePerSec / 10);
+  OpenLoopResult lossy =
+      RunOpenLoop(kSeed + 1, /*fast=*/true, kLossyTxns, /*drop_one_in=*/16,
+                  /*hints=*/false, kOpenRatePerSec / 10);
+  ReportMode("lossy", lossy, &json);
+  check(lossy.decided == kLossyTxns, "lossy run settled");
+  check(lossy.audit_ok, "lossy conservation audit");
+  check(lossy.retransmissions > 0, "loss actually forced retransmissions");
+  // The encode-once contract under loss: a retransmitted frame is either
+  // replayed verbatim from its cache (conduit hit) or re-encoded only after
+  // a counted fingerprint invalidation (ack/seq_base drifted — the bytes
+  // WERE stale). Retransmits coalesced with riders carry no cache, so
+  // hits + invalidations can undershoot retransmissions, never exceed it.
+  bool replay_ok =
+      lossy.udp.frame_cache_hits + lossy.cache_invalidations > 0 &&
+      lossy.udp.frame_cache_hits + lossy.cache_invalidations <=
+          lossy.retransmissions;
+  check(replay_ok, "retransmits replay cache or rebuild after invalidation");
+  std::printf(
+      "  lossy: %llu injected drops, %llu retransmits, %llu cache replays, "
+      "%llu invalidations\n",
+      static_cast<unsigned long long>(lossy.udp.datagrams_dropped_injected),
+      static_cast<unsigned long long>(lossy.retransmissions),
+      static_cast<unsigned long long>(lossy.udp.frame_cache_hits),
+      static_cast<unsigned long long>(lossy.cache_invalidations));
+  json.Set("e14.lossy.injected_drops", lossy.udp.datagrams_dropped_injected);
+  json.Set("e14.lossy.retransmissions", lossy.retransmissions);
+  json.Set("e14.lossy.cache_invalidations", lossy.cache_invalidations);
+  json.Set("e14.lossy.replay_ok", replay_ok);
+  json.Set("e14.ok", ok);
+
+  if (!json_path.empty()) json.WriteTo(json_path);
   if (ok) std::printf("bench_realtime: PASS\n");
   return ok ? 0 : 1;
 }
@@ -169,4 +466,4 @@ int Main() {
 }  // namespace
 }  // namespace dvp::bench
 
-int main() { return dvp::bench::Main(); }
+int main(int argc, char** argv) { return dvp::bench::Main(argc, argv); }

@@ -75,7 +75,7 @@ std::string Histogram::Summary() const {
   if (samples_.empty()) return "n=0";
   std::ostringstream os;
   os << "n=" << count() << " mean=" << mean() << " p50=" << Median()
-     << " p99=" << P99() << " max=" << max();
+     << " p99=" << P99() << " p999=" << P999() << " max=" << max();
   return os.str();
 }
 

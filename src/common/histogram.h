@@ -29,10 +29,11 @@ class Histogram {
   double Percentile(double q) const;
   double Median() const { return Percentile(0.5); }
   double P99() const { return Percentile(0.99); }
+  double P999() const { return Percentile(0.999); }
   double StdDev() const;
 
-  /// One-line summary: "n=... mean=... p50=... p99=... max=...", or just
-  /// "n=0" when empty — an empty histogram has no extrema to report.
+  /// One-line summary: "n=... mean=... p50=... p99=... p999=... max=...",
+  /// or just "n=0" when empty — an empty histogram has no extrema to report.
   std::string Summary() const;
 
  private:

@@ -48,6 +48,12 @@ class Conduit {
   virtual void Broadcast(SiteId src, EnvelopePtr payload) = 0;
 
   virtual uint32_t num_sites() const = 0;
+
+  /// True when this conduit actually serializes packets and wants the
+  /// transport to attach a FrameCache to reliable sends so retransmissions
+  /// can replay the first encoding. The sim network ships shared objects and
+  /// keeps the default (no cache, no per-send bookkeeping).
+  virtual bool WantsFrameCache() const { return false; }
 };
 
 }  // namespace dvp::net

@@ -45,6 +45,7 @@ void JsonWriter::SetHistogram(const std::string& prefix, const Histogram& h) {
   Set(prefix + ".mean", h.mean());
   Set(prefix + ".p50", h.Median());
   Set(prefix + ".p99", h.P99());
+  Set(prefix + ".p999", h.P999());
   if (h.count() == 0) {
     SetNull(prefix + ".min");
     SetNull(prefix + ".max");

@@ -178,14 +178,68 @@ StatusOr<net::EnvelopePtr> DecodeSurplusNack(wal::Decoder& dec) {
   return net::EnvelopePtr(std::move(m));
 }
 
+// Overwrites 4 bytes at `pos` with the same little-endian layout as
+// wal::PutFixed32 — used to patch the CRC placeholder once the body that
+// follows it has been appended in place.
+void PatchFixed32(std::string* s, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*s)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+// Length-prefixed envelope blob via the reusable scratch buffer (cleared, not
+// shrunk, so its capacity amortizes to zero allocations).
+void AppendEnvelopeBlob(const net::EnvelopePtr& env, std::string* out,
+                        std::string* scratch) {
+  scratch->clear();
+  if (env) EncodeEnvelopeTo(*env, scratch);
+  wal::PutLengthPrefixed(out, *scratch);
+}
+
+// Body bytes after the dst varint: reliability through riders. Shared by the
+// whole-frame and broadcast-fan-out encoders.
+void AppendBodyAfterDst(const net::Packet& p, std::string* out,
+                        std::string* scratch) {
+  out->push_back(static_cast<char>(p.reliability));
+  wal::PutVarint64(out, p.epoch);
+  wal::PutVarint64(out, p.seq.value());
+  wal::PutVarint64(out, p.seq_base);
+  PutBool(out, p.has_ack);
+  if (p.has_ack) {
+    wal::PutVarint64(out, p.ack_epoch);
+    wal::PutVarint64(out, p.ack_cum);
+  }
+  wal::PutVarint64(out, p.trace_id);
+  wal::PutVarint64(out, p.hints.size());
+  for (const net::PlacementHint& h : p.hints) {
+    wal::PutVarint64(out, h.item.value());
+    wal::PutVarsint64(out, h.surplus);
+    wal::PutVarsint64(out, h.demand);
+    wal::PutVarint64(out, h.stamp);
+  }
+  AppendEnvelopeBlob(p.payload, out, scratch);
+  wal::PutVarint64(out, p.extra.size());
+  for (const net::SubMsg& sub : p.extra) {
+    out->push_back(static_cast<char>(sub.reliability));
+    wal::PutVarint64(out, sub.seq.value());
+    AppendEnvelopeBlob(sub.payload, out, scratch);
+  }
+}
+
 }  // namespace
 
 std::string EncodeEnvelope(const net::Envelope& env) {
+  std::string blob;
+  EncodeEnvelopeTo(env, &blob);
+  return blob;
+}
+
+void EncodeEnvelopeTo(const net::Envelope& env, std::string* out) {
   // Kind byte, causal trace id (every envelope carries one), then the
   // kind-specific fields (or, for the snapshot messages, the nested frame —
   // they already have a standalone fuzz-hardened CRC codec; nest it rather
   // than invent a second layout).
-  std::string blob;
+  std::string& blob = *out;
   std::string_view tag = env.Tag();
   uint8_t kind = 0;
   if (tag == "Request") kind = kKindRequest;
@@ -196,7 +250,7 @@ std::string EncodeEnvelope(const net::Envelope& env) {
   else if (tag == "SurplusNack") kind = kKindSurplusNack;
   else if (tag == "SnapshotReq") kind = kKindSnapshotReq;
   else if (tag == "SnapshotReply") kind = kKindSnapshotReply;
-  else return {};  // unknown envelope type: nothing on the wire
+  else return;  // unknown envelope type: nothing on the wire
   blob.push_back(static_cast<char>(kind));
   wal::PutVarint64(&blob, env.trace_id);
   switch (kind) {
@@ -225,7 +279,6 @@ std::string EncodeEnvelope(const net::Envelope& env) {
       blob += EncodeSnapshotReply(static_cast<const SnapshotReplyMsg&>(env));
       break;
   }
-  return blob;
 }
 
 StatusOr<net::EnvelopePtr> DecodeEnvelope(std::string_view blob) {
@@ -285,39 +338,37 @@ StatusOr<net::EnvelopePtr> DecodeEnvelope(std::string_view blob) {
 }
 
 std::string EncodePacket(const net::Packet& p) {
-  std::string body;
-  wal::PutVarint64(&body, p.src.value());
-  wal::PutVarint64(&body, p.dst.value());
-  body.push_back(static_cast<char>(p.reliability));
-  wal::PutVarint64(&body, p.epoch);
-  wal::PutVarint64(&body, p.seq.value());
-  wal::PutVarint64(&body, p.seq_base);
-  PutBool(&body, p.has_ack);
-  if (p.has_ack) {
-    wal::PutVarint64(&body, p.ack_epoch);
-    wal::PutVarint64(&body, p.ack_cum);
-  }
-  wal::PutVarint64(&body, p.trace_id);
-  wal::PutVarint64(&body, p.hints.size());
-  for (const net::PlacementHint& h : p.hints) {
-    wal::PutVarint64(&body, h.item.value());
-    wal::PutVarsint64(&body, h.surplus);
-    wal::PutVarsint64(&body, h.demand);
-    wal::PutVarint64(&body, h.stamp);
-  }
-  wal::PutLengthPrefixed(&body,
-                         p.payload ? EncodeEnvelope(*p.payload) : "");
-  wal::PutVarint64(&body, p.extra.size());
-  for (const net::SubMsg& sub : p.extra) {
-    body.push_back(static_cast<char>(sub.reliability));
-    wal::PutVarint64(&body, sub.seq.value());
-    wal::PutLengthPrefixed(&body,
-                           sub.payload ? EncodeEnvelope(*sub.payload) : "");
-  }
-  std::string out;
-  wal::PutFixed32(&out, wal::Crc32c(body));
-  out += body;
+  std::string out, scratch;
+  EncodePacketTo(p, &out, &scratch);
   return out;
+}
+
+void EncodePacketTo(const net::Packet& p, std::string* out,
+                    std::string* scratch) {
+  // CRC placeholder first, body appended in place behind it, checksum patched
+  // at the end — one pass, no body copy (EncodePacket used to build the body
+  // in a temporary and prepend the checksum).
+  const size_t crc_pos = out->size();
+  out->append(4, '\0');
+  const size_t body_pos = out->size();
+  wal::PutVarint64(out, p.src.value());
+  wal::PutVarint64(out, p.dst.value());
+  AppendBodyAfterDst(p, out, scratch);
+  PatchFixed32(out, crc_pos,
+               wal::Crc32c(std::string_view(*out).substr(body_pos)));
+}
+
+void EncodePacketWithDstTo(const net::Packet& p, SiteId dst, std::string* out,
+                           std::string* tail, std::string* scratch) {
+  if (tail->empty()) AppendBodyAfterDst(p, tail, scratch);
+  const size_t crc_pos = out->size();
+  out->append(4, '\0');
+  const size_t body_pos = out->size();
+  wal::PutVarint64(out, p.src.value());
+  wal::PutVarint64(out, dst.value());
+  out->append(*tail);
+  PatchFixed32(out, crc_pos,
+               wal::Crc32c(std::string_view(*out).substr(body_pos)));
 }
 
 StatusOr<net::Packet> DecodePacket(std::string_view frame) {

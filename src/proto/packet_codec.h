@@ -28,11 +28,32 @@ namespace dvp::proto {
 /// codec does not know (nothing in the protocol sends such a payload).
 std::string EncodeEnvelope(const net::Envelope& env);
 
+/// Appends one envelope blob to *out — same bytes as EncodeEnvelope without
+/// the temporary string (unknown envelope types append nothing).
+void EncodeEnvelopeTo(const net::Envelope& env, std::string* out);
+
 /// Decodes an envelope blob produced by EncodeEnvelope.
 StatusOr<net::EnvelopePtr> DecodeEnvelope(std::string_view blob);
 
 /// Serializes a whole packet: transport header, ack, hints, payload, riders.
 std::string EncodePacket(const net::Packet& packet);
+
+/// Appends a whole frame (fixed32 CRC + body) to *out, byte-for-byte equal to
+/// EncodePacket. `scratch` is a caller-owned buffer reused for nested
+/// envelope blobs; with warmed capacities in *out and *scratch the call
+/// performs zero heap allocations — the transport fast path depends on that.
+void EncodePacketTo(const net::Packet& packet, std::string* out,
+                    std::string* scratch);
+
+/// Broadcast fan-out helper: the frame layout is CRC | src | dst | rest, and
+/// for a fan-out only `dst` (and hence the CRC) differs per leg. Encodes
+/// `rest` once into *tail when *tail is empty, then assembles the frame for
+/// `dst` by splicing the header onto the shared tail and patching the
+/// checksum. Byte-for-byte equal to EncodePacket on a copy of `packet` with
+/// its dst replaced. Callers reuse one cleared *tail per fan-out.
+void EncodePacketWithDstTo(const net::Packet& packet, SiteId dst,
+                           std::string* out, std::string* tail,
+                           std::string* scratch);
 
 /// Decodes a frame produced by EncodePacket. Rejects (kCorruption) bad
 /// checksums, truncations, unknown envelope kinds, and trailing garbage.

@@ -30,6 +30,10 @@
 #include "net/conduit.h"
 #include "runtime/runtime.h"
 
+namespace dvp::obs {
+class MetricsRegistry;
+}
+
 namespace dvp::runtime {
 
 /// One site's runtime: a thread, a timer heap, and a poll() loop over a
@@ -68,6 +72,13 @@ class EventLoop final : public Runtime {
   /// Registers a readable-event handler for `fd` (a nonblocking socket).
   /// Must be called before Start(); the handler runs on the loop thread.
   void RegisterFd(int fd, std::function<void()> on_readable);
+
+  /// Registers a pre-poll hook: runs on the loop thread once per loop
+  /// iteration, after due timers have fired and before the loop blocks in
+  /// poll(). The UDP conduit drains its staged datagrams here, so everything
+  /// a timer quantum produced leaves in one batched syscall. Must be called
+  /// before Start().
+  void AddFlushFn(std::function<void()> fn);
 
   /// Starts the loop thread. Timers scheduled before Start() fire after it.
   void Start();
@@ -126,6 +137,7 @@ class EventLoop final : public Runtime {
     std::function<void()> on_readable;
   };
   std::vector<FdHandler> fd_handlers_;  // set before Start, read by the loop
+  std::vector<std::function<void()>> flush_fns_;  // ditto
 };
 
 /// The transport endpoint of the real runtime: one loopback UDP socket per
@@ -141,15 +153,39 @@ class UdpConduit final : public net::Conduit {
     /// (0 = off). Counter-based, so a fixed workload sees a fixed drop
     /// pattern — the real-runtime analogue of the sim's loss probability.
     uint64_t drop_one_in = 0;
+    /// Batched syscalls: stage outgoing datagrams per loop iteration and
+    /// drain them through one sendmmsg() before the loop blocks; read with
+    /// recvmmsg() into a reused buffer set. Off = one sendto()/recv() per
+    /// datagram (the portability fallback, also the PR 9 baseline the
+    /// latency bench compares against). Non-Linux builds always take the
+    /// single-shot path regardless of this flag.
+    bool batch_io = true;
+    /// Encode-once: answer WantsFrameCache so the transport attaches a
+    /// FrameCache to reliable sends (retransmissions replay the first
+    /// encoding), encode broadcast fan-outs once and patch only the
+    /// destination, and reuse per-site scratch buffers so the steady-state
+    /// datagram path allocates nothing. Off = every send encodes into a
+    /// fresh heap string (the PR 9 baseline).
+    bool frame_cache = true;
   };
 
   struct Stats {
     uint64_t datagrams_sent = 0;
     uint64_t datagrams_dropped_injected = 0;
-    uint64_t send_errors = 0;  ///< sendto failures (counted as silent loss)
+    uint64_t send_errors = 0;       ///< hard send failures (silent loss)
+    uint64_t send_soft_errors = 0;  ///< EAGAIN/ENOBUFS backpressure drops
+    uint64_t oversize_frames = 0;   ///< frames > kMaxDatagram, never sent
     uint64_t datagrams_received = 0;
     uint64_t decode_errors = 0;  ///< frames rejected by the codec
     uint64_t dropped_down = 0;   ///< destination's is_up() said no
+    uint64_t send_syscalls = 0;  ///< sendto + sendmmsg calls
+    uint64_t recv_syscalls = 0;  ///< recv + recvmmsg calls
+    uint64_t frames_encoded = 0;     ///< actual EncodePacket* executions
+    uint64_t frame_cache_hits = 0;   ///< sends that replayed cached bytes
+    uint64_t broadcast_legs = 0;     ///< fan-out destinations attempted
+    uint64_t broadcast_payload_encodes = 0;  ///< shared tails built (once
+                                             ///< per fan-out, not per leg)
+    uint64_t frame_buffer_allocs = 0;  ///< frame/batch buffer heap growths
   };
 
   /// One loop per site; sockets are created (bound to 127.0.0.1, ephemeral
@@ -165,13 +201,21 @@ class UdpConduit final : public net::Conduit {
   void Send(net::Packet packet) override;
   /// Best-effort datagram fan-out. NOT the sim's loss-free atomic ordered
   /// broadcast — Conc2 soundness does not carry over (see net/conduit.h).
+  /// With Options::frame_cache the shared body is encoded once and only the
+  /// destination field (and checksum) is patched per leg.
   void Broadcast(SiteId src, net::EnvelopePtr payload) override;
   uint32_t num_sites() const override {
     return static_cast<uint32_t>(loops_.size());
   }
+  bool WantsFrameCache() const override { return options_.frame_cache; }
 
   uint16_t port(SiteId site) const;
   Stats stats() const;
+  /// Publishes a stats() snapshot into `metrics` as "udp.*" gauges. Pull
+  /// style on purpose: the counters are atomics fed from every loop thread,
+  /// while MetricsRegistry handles are unsynchronized — call this from one
+  /// thread at quiescence (end of run), not from the hot path. Idempotent.
+  void ExportStats(obs::MetricsRegistry* metrics) const;
 
  private:
   struct Endpoint {
@@ -179,22 +223,68 @@ class UdpConduit final : public net::Conduit {
     std::function<bool()> is_up;
   };
 
+  /// Per-site send-side scratch, touched only from that site's loop thread
+  /// (every Transport action for a site runs there). All buffers are
+  /// clear()ed, never shrunk, so their capacities warm up once and the
+  /// steady-state path stops allocating.
+  struct SendState {
+    /// Staged outgoing datagrams, contiguous. Frames are copied in at stage
+    /// time (not referenced) so a pending-send cache entry freed before the
+    /// flush — cum-acked or cancelled — can never dangle under an iovec.
+    std::string batch;
+    struct Range {
+      size_t off;
+      size_t len;
+      uint32_t dst;
+    };
+    std::vector<Range> staged;
+    std::string frame;        ///< encode target for uncached frames
+    std::string env_scratch;  ///< nested envelope blobs (codec scratch)
+    std::string bcast_tail;   ///< shared broadcast body (after dst field)
+  };
+
   /// Reads every pending datagram off `site`'s socket (loop thread only).
   void DrainSocket(uint32_t site);
+  /// Decode + deliver one received frame (shared by both I/O modes).
+  void HandleFrame(uint32_t site, const char* data, size_t len);
+  /// True when the packet was claimed by injected drop (counter bumped).
+  bool DropInjected();
+  /// Stages `len` bytes for dst (batched mode on the loop thread) or sends
+  /// them immediately (fallback mode, foreign threads, stopped loops).
+  void StageOrSend(uint32_t src, uint32_t dst, const char* data, size_t len);
+  /// One classified sendto: EINTR retried, EAGAIN/ENOBUFS soft, rest hard.
+  void SendNow(uint32_t src, uint32_t dst, const char* data, size_t len);
+  /// Drains site's staged datagrams through sendmmsg (pre-poll hook).
+  void FlushSends(uint32_t site);
+  /// Tracks capacity growth of a reused buffer across an append/encode.
+  void NoteBufferGrowth(size_t cap_before, size_t cap_after);
 
   std::vector<EventLoop*> loops_;
   Options options_;
   std::vector<int> fds_;
   std::vector<uint16_t> ports_;
   std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<SendState>> send_states_;
+  /// Per-site recvmmsg buffer set, lazily sized on first drain.
+  struct RecvState;
+  std::vector<std::unique_ptr<RecvState>> recv_states_;
   std::atomic<uint64_t> send_counter_{0};
 
   std::atomic<uint64_t> datagrams_sent_{0};
   std::atomic<uint64_t> datagrams_dropped_injected_{0};
   std::atomic<uint64_t> send_errors_{0};
+  std::atomic<uint64_t> send_soft_errors_{0};
+  std::atomic<uint64_t> oversize_frames_{0};
   std::atomic<uint64_t> datagrams_received_{0};
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<uint64_t> dropped_down_{0};
+  std::atomic<uint64_t> send_syscalls_{0};
+  std::atomic<uint64_t> recv_syscalls_{0};
+  std::atomic<uint64_t> frames_encoded_{0};
+  std::atomic<uint64_t> frame_cache_hits_{0};
+  std::atomic<uint64_t> broadcast_legs_{0};
+  std::atomic<uint64_t> broadcast_payload_encodes_{0};
+  std::atomic<uint64_t> frame_buffer_allocs_{0};
 };
 
 /// The whole real runtime for an n-site system: a shared clock epoch, one

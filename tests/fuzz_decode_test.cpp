@@ -455,7 +455,18 @@ TEST_P(PacketCodecFuzzTest, RandomPacketsRoundTrip) {
   Rng rng(GetParam() + 3'030);
   for (int trial = 0; trial < 300; ++trial) {
     net::Packet p = RandomPacket(rng);
-    auto rt = proto::DecodePacket(proto::EncodePacket(p));
+    std::string frame = proto::EncodePacket(p);
+    // The append-style APIs the fast path uses must be byte-identical to the
+    // fresh-string encoder for every packet shape the fuzzer can produce —
+    // the frame cache replays these bytes verbatim on retransmission.
+    std::string appended = "prefix";
+    std::string scratch;
+    proto::EncodePacketTo(p, &appended, &scratch);
+    EXPECT_EQ(appended.substr(6), frame);
+    std::string patched, tail;
+    proto::EncodePacketWithDstTo(p, p.dst, &patched, &tail, &scratch);
+    EXPECT_EQ(patched, frame);
+    auto rt = proto::DecodePacket(frame);
     ASSERT_TRUE(rt.ok()) << rt.status().ToString();
     EXPECT_EQ(rt->src, p.src);
     EXPECT_EQ(rt->dst, p.dst);
@@ -498,6 +509,122 @@ TEST_P(PacketCodecFuzzTest, TruncationsOfValidFramesAreRejected) {
   for (size_t cut = 0; cut < frame.size(); ++cut) {
     EXPECT_FALSE(proto::DecodePacket(frame.substr(0, cut)).ok())
         << "accepted a packet truncated to " << cut;
+  }
+}
+
+/// Every envelope kind the wire knows, dressed with the full set of
+/// per-frame extras (piggyback ack, placement hints, coalesced riders): the
+/// append APIs must match the fresh-string encoder byte for byte, and the
+/// destination-patching fan-out encoder must differ from a per-destination
+/// fresh encode in no byte at all.
+TEST(PacketCodecAppendTest, AllEnvelopeKindsEncodeIdenticallyViaAppendApis) {
+  Rng rng(77);
+  std::vector<net::EnvelopePtr> payloads;
+  {
+    auto m = net::MakeEnvelope<proto::RequestMsg>();
+    m->txn = TxnId(101);
+    m->ts_packed = 5'000;
+    m->origin = SiteId(1);
+    m->round = 2;
+    m->want_surplus_nack = true;
+    m->parts.push_back(proto::RequestPart{ItemId(7), 40, false});
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::VmTransferMsg>();
+    m->vm = VmId(55);
+    m->src = SiteId(2);
+    m->item = ItemId(7);
+    m->amount = -12;
+    m->for_txn = TxnId(101);
+    m->ts_packed = 5'001;
+    m->closed_below = 44;
+    m->accept_count = 9;
+    m->create_count = 8;
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::VmAckMsg>();
+    m->vm = VmId(55);
+    m->from = SiteId(3);
+    m->ts_packed = 5'002;
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::VmClosureMsg>();
+    m->src = SiteId(0);
+    m->closed_below = 56;
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::CcNackMsg>();
+    m->from = SiteId(2);
+    m->ts_packed = 5'003;
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::SurplusNackMsg>();
+    m->from = SiteId(1);
+    m->item = ItemId(7);
+    m->ts_packed = 5'004;
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::SnapshotReqMsg>();
+    *m = RandomReq(rng);
+    payloads.push_back(std::move(m));
+  }
+  {
+    auto m = net::MakeEnvelope<proto::SnapshotReplyMsg>();
+    *m = RandomReply(rng);
+    payloads.push_back(std::move(m));
+  }
+  ASSERT_EQ(payloads.size(), 8u);
+
+  for (size_t k = 0; k < payloads.size(); ++k) {
+    net::Packet p;
+    p.src = SiteId(0);
+    p.dst = SiteId(1);
+    p.reliability = net::Reliability::kReliable;
+    p.epoch = 3;
+    p.seq = MsgSeq(900 + k);
+    p.seq_base = 890;
+    p.has_ack = true;
+    p.ack_epoch = 2;
+    p.ack_cum = 777;
+    p.payload = payloads[k];
+    p.trace_id = p.payload->trace_id;
+    p.hints.push_back(net::PlacementHint{ItemId(7), 30, -4, 1'234});
+    p.hints.push_back(net::PlacementHint{ItemId(9), 0, 12, 1'235});
+    {
+      auto rider = net::MakeEnvelope<proto::VmAckMsg>();
+      rider->vm = VmId(60 + k);
+      rider->from = SiteId(0);
+      rider->ts_packed = 6'000 + k;
+      p.extra.push_back(net::SubMsg{net::Reliability::kReliable,
+                                    MsgSeq(901 + k), std::move(rider)});
+    }
+
+    const std::string fresh = proto::EncodePacket(p);
+    std::string appended, scratch;
+    proto::EncodePacketTo(p, &appended, &scratch);
+    EXPECT_EQ(appended, fresh) << "kind " << p.payload->Tag();
+
+    // Fan-out: one shared tail, three destinations. Each patched frame must
+    // equal a from-scratch encode for that destination.
+    std::string tail;
+    for (uint32_t d = 1; d <= 3; ++d) {
+      std::string out;
+      proto::EncodePacketWithDstTo(p, SiteId(d), &out, &tail, &scratch);
+      net::Packet q = p;
+      q.dst = SiteId(d);
+      EXPECT_EQ(out, proto::EncodePacket(q))
+          << "kind " << p.payload->Tag() << " dst " << d;
+      auto rt = proto::DecodePacket(out);
+      ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+      EXPECT_EQ(rt->dst, SiteId(d));
+      EXPECT_EQ(rt->payload->Tag(), p.payload->Tag());
+    }
   }
 }
 

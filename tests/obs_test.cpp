@@ -80,6 +80,29 @@ TEST(HistogramTest, SummaryOfEmptyReportsNoExtrema) {
   EXPECT_EQ(h.Summary(), "n=0");
   h.Add(2.0);
   EXPECT_NE(h.Summary().find("max="), std::string::npos);
+  EXPECT_NE(h.Summary().find("p999="), std::string::npos);
+}
+
+TEST(HistogramTest, P999SitsBetweenP99AndMax) {
+  // A 1..1000 ramp: the interpolated quantiles are exactly computable, and
+  // p999 must resolve tail structure p99 cannot see.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(double(i));
+  EXPECT_NEAR(h.P99(), 990.01, 1e-9);
+  EXPECT_NEAR(h.P999(), 999.001, 1e-9);
+  EXPECT_GT(h.P999(), h.P99());
+  EXPECT_LE(h.P999(), h.max());
+  EXPECT_EQ(h.Percentile(0.999), h.P999());
+}
+
+TEST(JsonWriterTest, SetHistogramEmitsP999) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(double(i));
+  obs::JsonWriter w;
+  w.SetHistogram("lat", h);
+  std::string out = w.ToString();
+  EXPECT_NE(out.find("\"lat.p99\": "), std::string::npos) << out;
+  EXPECT_NE(out.find("\"lat.p999\": "), std::string::npos) << out;
 }
 
 // ---- MetricsRegistry ------------------------------------------------------------

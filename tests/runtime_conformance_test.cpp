@@ -212,10 +212,20 @@ INSTANTIATE_TEST_SUITE_P(Backends, RuntimeConformanceTest,
 
 // ---- Real-runtime-only: the transport over actual lossy UDP ----------------
 
-TEST(RealTransportTest, ReliableSendsDeliverExactlyOnceUnderUdpDrops) {
+/// Parameterized over the conduit's two wire paths: the single-shot
+/// sendto/recv fallback and the fast path (encode-once frame cache plus
+/// batched sendmmsg/recvmmsg). Exactly-once delivery under injected loss
+/// must hold identically in both — the fast path is an optimization of the
+/// wire, never of the semantics.
+class RealTransportIoModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RealTransportIoModeTest, ReliableSendsDeliverExactlyOnceUnderUdpDrops) {
+  const bool fast_path = GetParam();
   constexpr uint32_t kMessages = 40;
   runtime::Real::Options opts;
   opts.net.drop_one_in = 3;  // every third datagram vanishes before the wire
+  opts.net.batch_io = fast_path;
+  opts.net.frame_cache = fast_path;
   runtime::Real real(2, opts);
 
   obs::MetricsRegistry metrics0, metrics1;
@@ -282,7 +292,25 @@ TEST(RealTransportTest, ReliableSendsDeliverExactlyOnceUnderUdpDrops) {
   // transport visibly retransmitted around them.
   EXPECT_GT(real.conduit().stats().datagrams_dropped_injected, 0u);
   EXPECT_GT(t0.retransmissions(), 0u);
+  if (fast_path) {
+    // Encode-once bookkeeping: every retransmission either replayed its
+    // cached bytes or re-encoded only after a counted invalidation.
+    EXPECT_LE(real.conduit().stats().frame_cache_hits +
+                  t0.frame_cache_invalidations() +
+                  t1.frame_cache_invalidations(),
+              t0.retransmissions() + t1.retransmissions());
+  } else {
+    // The baseline path never touches the cache machinery.
+    EXPECT_EQ(real.conduit().stats().frame_cache_hits, 0u);
+    EXPECT_EQ(t0.frame_cache_invalidations(), 0u);
+  }
 }
+
+INSTANTIATE_TEST_SUITE_P(IoModes, RealTransportIoModeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("FastPath")
+                                             : std::string("SingleShot");
+                         });
 
 // The packet byte codec round-trips the wire shapes the conduit ships. (The
 // fuzz suite hammers the decoder; this pins the happy path end to end.)
